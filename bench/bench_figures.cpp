@@ -1,0 +1,33 @@
+// Regenerates the paper's figures (1-25) as ASCII traces; `--fig=N` prints a
+// single figure, no arguments prints all.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "src/trace/figure_printer.hpp"
+
+int main(int argc, char** argv) {
+  int only = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fig=", 6) == 0) {
+      only = std::atoi(argv[i] + 6);
+    } else {
+      std::fprintf(stderr, "usage: %s [--fig=N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (only >= 0) {
+    if (!lumi::print_figure(std::cout, only)) {
+      std::fprintf(stderr, "unknown figure %d\n", only);
+      return 2;
+    }
+    return 0;
+  }
+  bool first = true;
+  for (int fig : lumi::available_figures()) {
+    if (!first) std::cout << "\n" << std::string(72, '=') << "\n\n";
+    first = false;
+    if (!lumi::print_figure(std::cout, fig)) return 1;
+  }
+  return 0;
+}

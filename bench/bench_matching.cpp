@@ -1,0 +1,48 @@
+// Microbenchmarks of the hot path: snapshotting and guard matching under
+// rotations/reflections.
+#include <benchmark/benchmark.h>
+
+#include "src/algorithms/algorithms.hpp"
+#include "src/core/matching.hpp"
+
+namespace {
+
+using namespace lumi;
+
+void BM_TakeSnapshot(benchmark::State& state) {
+  const int phi = static_cast<int>(state.range(0));
+  const Grid grid(5, 5);
+  const Configuration c = make_configuration(
+      grid, {{{2, 2}, {Color::G}}, {{2, 3}, {Color::W}}, {{3, 2}, {Color::B}}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(take_snapshot(c, 0, phi));
+  }
+}
+BENCHMARK(BM_TakeSnapshot)->Arg(1)->Arg(2);
+
+void BM_EnabledActions(benchmark::State& state, Algorithm (*factory)()) {
+  const Algorithm alg = factory();
+  const Grid grid(4, 5);
+  const Configuration c = alg.initial_configuration(grid);
+  for (auto _ : state) {
+    for (int i = 0; i < c.num_robots(); ++i) {
+      benchmark::DoNotOptimize(enabled_actions(alg, c, i));
+    }
+  }
+}
+BENCHMARK_CAPTURE(BM_EnabledActions, alg1_phi2_chir, algorithms::algorithm1);
+BENCHMARK_CAPTURE(BM_EnabledActions, alg9_phi2_nochir, algorithms::algorithm9);
+BENCHMARK_CAPTURE(BM_EnabledActions, alg10_phi1_chir, algorithms::algorithm10);
+BENCHMARK_CAPTURE(BM_EnabledActions, alg11_phi1_nochir, algorithms::algorithm11);
+
+void BM_IsTerminal(benchmark::State& state) {
+  const Algorithm alg = algorithms::algorithm10();
+  const Grid grid(4, 5);
+  const Configuration c = alg.initial_configuration(grid);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_terminal(alg, c));
+  }
+}
+BENCHMARK(BM_IsTerminal);
+
+}  // namespace

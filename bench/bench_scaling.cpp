@@ -1,0 +1,80 @@
+// Performance scaling: simulation cost of a full exploration as a function
+// of grid area, per algorithm family and scheduler (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "src/algorithms/registry.hpp"
+#include "src/engine/runner.hpp"
+
+namespace {
+
+using namespace lumi;
+
+void run_fsync_once(const Algorithm& alg, int rows, int cols) {
+  FsyncScheduler sched;
+  const RunResult r = run_sync(alg, Grid(rows, cols), sched);
+  if (!r.ok()) throw std::runtime_error(alg.name + " failed: " + r.failure);
+  benchmark::DoNotOptimize(r.stats.moves);
+}
+
+void run_async_once(const Algorithm& alg, int rows, int cols, unsigned seed) {
+  AsyncRandomScheduler sched(seed);
+  RunOptions opts;
+  opts.max_steps = 10'000'000;
+  const RunResult r = run_async(alg, Grid(rows, cols), sched, opts);
+  if (!r.ok()) throw std::runtime_error(alg.name + " failed: " + r.failure);
+  benchmark::DoNotOptimize(r.stats.moves);
+}
+
+void run_ssync_once(const Algorithm& alg, int rows, int cols, unsigned seed) {
+  SsyncRandomScheduler sched(seed);
+  RunOptions opts;
+  opts.max_steps = 10'000'000;
+  const RunResult r = run_sync(alg, Grid(rows, cols), sched, opts);
+  if (!r.ok()) throw std::runtime_error(alg.name + " failed: " + r.failure);
+  benchmark::DoNotOptimize(r.stats.moves);
+}
+
+void BM_FsyncExploration(benchmark::State& state, const char* section) {
+  const Algorithm alg = algorithms::entry(section).make();
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) run_fsync_once(alg, n, n + 1);
+  state.SetComplexityN(static_cast<long>(n) * (n + 1));
+}
+
+void BM_AsyncExploration(benchmark::State& state, const char* section) {
+  const Algorithm alg = algorithms::entry(section).make();
+  const int n = static_cast<int>(state.range(0));
+  unsigned seed = 1;
+  for (auto _ : state) run_async_once(alg, n, n + 1, seed++);
+  state.SetComplexityN(static_cast<long>(n) * (n + 1));
+}
+
+void BM_SsyncExploration(benchmark::State& state, const char* section) {
+  const Algorithm alg = algorithms::entry(section).make();
+  const int n = static_cast<int>(state.range(0));
+  unsigned seed = 1;
+  for (auto _ : state) run_ssync_once(alg, n, n + 1, seed++);
+  state.SetComplexityN(static_cast<long>(n) * (n + 1));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_FsyncExploration, alg1_phi2, "4.2.1")
+    ->DenseRange(4, 16, 4)
+    ->Complexity(benchmark::oN);
+BENCHMARK_CAPTURE(BM_FsyncExploration, alg3_phi1, "4.2.5")
+    ->DenseRange(4, 16, 4)
+    ->Complexity(benchmark::oN);
+BENCHMARK_CAPTURE(BM_FsyncExploration, alg5_k3, "4.2.7")
+    ->DenseRange(4, 16, 4)
+    ->Complexity(benchmark::oN);
+BENCHMARK_CAPTURE(BM_AsyncExploration, alg6_k2, "4.3.1")
+    ->DenseRange(4, 12, 4)
+    ->Complexity(benchmark::oN);
+BENCHMARK_CAPTURE(BM_AsyncExploration, alg10_train, "4.3.5")
+    ->DenseRange(4, 12, 4)
+    ->Complexity(benchmark::oN);
+// Algorithm 11 is SSYNC-verified (see its capability note).
+BENCHMARK_CAPTURE(BM_SsyncExploration, alg11_k6, "4.3.6")
+    ->DenseRange(4, 12, 4)
+    ->Complexity(benchmark::oN);

@@ -1,0 +1,47 @@
+// Adversary hunting (the paper's Section 3): given a candidate algorithm,
+// search for a fair SSYNC scheduler that keeps a node unvisited forever.
+// Reproduces Theorem 1's conclusion constructively for two-robot phi=1
+// candidates and shows k=3 escapes it.
+//
+//   $ ./adversary_hunt
+#include <cstdio>
+
+#include "src/algorithms/algorithms.hpp"
+#include "src/analysis/impossibility.hpp"
+
+int main() {
+  using namespace lumi;
+  using algorithms::algorithm10;
+  using algorithms::algorithm3;
+
+  std::printf("Hunting SSYNC adversaries (Theorem 1 demo)\n\n");
+
+  struct Case {
+    Algorithm alg;
+    Grid grid;
+    const char* note;
+  };
+  const Case cases[] = {
+      {algorithm3(), Grid(4, 4), "paper Algorithm 3: correct under FSYNC, k=2, phi=1"},
+      {algorithm3(), Grid(5, 5), "same, larger grid"},
+      {algorithm10(), Grid(3, 3), "paper Algorithm 10: k=3, phi=1 (lower bound met)"},
+      {algorithm10(), Grid(3, 4), "same, larger grid"},
+  };
+
+  for (const Case& c : cases) {
+    std::printf("%s\n  grid %s ... ", c.note, c.grid.to_string().c_str());
+    const AdversaryResult r = find_ssync_adversary(c.alg, c.grid);
+    if (r.adversary_wins) {
+      std::printf("adversary WINS: node (%d,%d) stays unvisited via %s (%ld states)\n\n",
+                  r.protected_node.row, r.protected_node.col,
+                  r.via_terminal ? "a stuck terminal configuration" : "a fair activation cycle",
+                  r.states);
+    } else {
+      std::printf("no adversary exists: %s (%ld states)\n\n", r.summary.c_str(), r.states);
+    }
+  }
+
+  std::printf("Conclusion (matches Theorem 1): two myopic phi=1 robots cannot solve\n");
+  std::printf("terminating grid exploration under SSYNC, whatever the algorithm; three can.\n");
+  return 0;
+}

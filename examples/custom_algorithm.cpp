@@ -1,0 +1,79 @@
+// Authoring your own robot algorithm with the rule DSL, then validating it
+// with the randomized verifier AND the exhaustive model checker — the same
+// pipeline the built-in reproductions go through.
+//
+//   $ ./custom_algorithm
+#include <cstdio>
+#include <iostream>
+
+#include "src/analysis/model_checker.hpp"
+#include "src/analysis/verifier.hpp"
+#include "src/dsl/dsl.hpp"
+#include "src/engine/runner.hpp"
+#include "src/trace/ascii_render.hpp"
+
+namespace {
+
+// A three-color FSYNC "snake": a variant of the paper's Algorithm 3 pair
+// authored directly in the text DSL.
+const char* kSnake = R"(
+# two-robot boustrophedon pair, phi=1, FSYNC, common chirality
+algorithm custom-snake
+model fsync
+phi 1
+colors 3
+chirality common
+min-grid 2 3
+init (0,0)=G (0,1)=W
+
+# proceed east: W leads, G follows
+rule R1 self=W W={G} E=empty -> W,E
+rule R2 self=G E={W} -> G,E
+# turn west at the east wall
+rule R3 self=W W={G} E=wall S=empty -> G,S
+rule R4 self=G N={G} E=wall W=empty -> B,W
+rule R5 self=G S={G} E=wall -> G,S
+# proceed west: B leads, G follows (N=empty pins the rotation at walls)
+rule R6 self=B E={G} W=empty N=empty -> B,W
+rule R7 self=G W={B} N=empty -> G,W
+# turn east at the west wall
+rule R8 self=B E={G} W=wall S=empty N=empty -> B,S
+rule R9 self=B N={G} W=wall E=empty -> W,E
+rule R10 self=G S={B} W=wall -> G,S
+)";
+
+}  // namespace
+
+int main() {
+  using namespace lumi;
+
+  std::printf("parsing the custom algorithm from its DSL source...\n");
+  const Algorithm alg = dsl::parse(kSnake);
+  std::printf("parsed '%s': %zu rules, %d robots\n\n", alg.name.c_str(), alg.rules.size(),
+              alg.num_robots());
+
+  std::printf("1) randomized sweep over grids up to 7x8 (FSYNC):\n");
+  SweepOptions sweep;
+  sweep.max_rows = 7;
+  sweep.max_cols = 8;
+  const SweepReport report = verify_sweep(alg, sweep);
+  std::printf("   %s\n\n", report.to_string().c_str());
+
+  std::printf("2) exhaustive model checking on small grids (every FSYNC schedule):\n");
+  bool all_ok = report.ok();
+  for (const auto& [rows, cols] : {std::pair{2, 3}, {3, 4}, {4, 5}}) {
+    const CheckResult r = model_check(alg, Grid(rows, cols), CheckModel::Fsync);
+    std::printf("   %dx%d: %s\n", rows, cols, r.to_string().c_str());
+    all_ok = all_ok && r.ok;
+  }
+
+  std::printf("\n3) one run, rendered:\n\n");
+  FsyncScheduler sched;
+  RunOptions opts;
+  opts.record_trace = true;
+  const RunResult run = run_sync(alg, Grid(3, 5), sched, opts);
+  std::cout << render_visit_order(run.trace) << "\n";
+  std::printf("round-trip through the serializer:\n\n%s",
+              dsl::serialize(dsl::parse(dsl::serialize(alg))).c_str());
+  return all_ok && run.ok() ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Algorithm 1 (paper §4.2.1): FSYNC, phi=2, colors {G,W}, common chirality,
+// k=2 robots.  Optimal robot count.
+//
+// Shape of the execution (reconstructed from Figs. 4-5 and their prose):
+//  * proceed east:  G at (r,j), W at (r,j+1); both step east each instant.
+//  * turn west:     at the east wall G drops south (R3); then W drops south
+//                   while G steps west (R4+R5), yielding the westward form.
+//  * proceed west:  G at (r,j), W at (r,j+2) (gap of one); both step west.
+//  * turn east:     at the west wall G drops south while W keeps stepping
+//                   (R8+R7); then W drops (R9), recreating the eastward form.
+//  * termination:   odd m — eastward form wedged in the southeast corner;
+//                   even m — R10+R7 merge both robots onto v_{m-1,1}.
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi::algorithms {
+
+Algorithm algorithm1() {
+  using enum Color;
+  const CellPattern empty = CellPattern::empty();
+  const CellPattern wall = CellPattern::wall();
+
+  Algorithm alg;
+  alg.name = "alg01-fsync-phi2-l2-chir-k2";
+  alg.paper_section = "4.2.1";
+  alg.model = Synchrony::Fsync;
+  alg.phi = 2;
+  alg.num_colors = 2;
+  alg.chirality = Chirality::Common;
+  alg.min_rows = 2;
+  alg.min_cols = 3;
+  alg.initial_robots = {{{0, 0}, G}, {{0, 1}, W}};
+
+  // Proceed east.
+  alg.rules.push_back(RuleBuilder("R1", W).cell("W", {G}).cell("E", empty).moves(Dir::East).build());
+  alg.rules.push_back(RuleBuilder("R2", G).cell("E", {W}).cell("EE", empty).moves(Dir::East).build());
+  // Turn west (east wall reached).
+  alg.rules.push_back(RuleBuilder("R3", G)
+                          .cell("E", {W})
+                          .cell("EE", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R4", W)
+                          .cell("SW", {G})
+                          .cell("E", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R5", G).cell("NE", {W}).cell("W", empty).moves(Dir::West).build());
+  // Proceed west.
+  alg.rules.push_back(RuleBuilder("R6", G).cell("EE", {W}).cell("W", empty).moves(Dir::West).build());
+  alg.rules.push_back(RuleBuilder("R7", W).cell("WW", {G}).cell("W", empty).moves(Dir::West).build());
+  // Turn east (west wall reached).
+  alg.rules.push_back(RuleBuilder("R8", G)
+                          .cell("EE", {W})
+                          .cell("W", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R9", W)
+                          .cell("SW", {G})
+                          .cell("WW", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  // End of exploration, even m: converge onto a single node.
+  alg.rules.push_back(RuleBuilder("R10", G)
+                          .cell("EE", {W})
+                          .cell("W", wall)
+                          .cell("S", wall)
+                          .cell("E", empty)
+                          .moves(Dir::East)
+                          .build());
+
+  alg.validate();
+  return alg;
+}
+
+}  // namespace lumi::algorithms

@@ -1,0 +1,117 @@
+// Algorithm 2 (paper §4.2.2): FSYNC, phi=2, colors {G,W}, no chirality, k=3.
+//
+// The robots keep an L-shaped, chiral form (two G on the leading row, one W
+// below the trailing G) so that rotated *and mirrored* views stay
+// distinguishable:
+//     G G                      G G
+//     W        --mirror-->       W
+// Turning west (Fig. 6): both west robots drop south (R4+R5), then the
+// remaining G drops while W slides under it (R6+R7), producing the mirror
+// image of the eastward form; westward travel reuses the same rules through
+// mirrored views.  R8 performs the final step into the last unvisited corner
+// node (odd and even m are symmetric).
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi::algorithms {
+
+Algorithm algorithm2() {
+  using enum Color;
+  const CellPattern empty = CellPattern::empty();
+  const CellPattern wall = CellPattern::wall();
+
+  Algorithm alg;
+  alg.name = "alg02-fsync-phi2-l2-nochir-k3";
+  alg.paper_section = "4.2.2";
+  alg.model = Synchrony::Fsync;
+  alg.phi = 2;
+  alg.num_colors = 2;
+  alg.chirality = Chirality::None;
+  alg.min_rows = 2;
+  alg.min_cols = 3;
+  alg.initial_robots = {{{0, 0}, G}, {{0, 1}, G}, {{1, 0}, W}};
+
+  // Proceed east.
+  alg.rules.push_back(RuleBuilder("R1", G)
+                          .cell("W", {G})
+                          .cell("SW", {W})
+                          .cell("E", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R2", G)
+                          .cell("E", {G})
+                          .cell("S", {W})
+                          .cell("EE", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R3", W)
+                          .cell("N", {G})
+                          .cell("NE", {G})
+                          .cell("E", empty)
+                          .cell("EE", empty)
+                          .moves(Dir::East)
+                          .build());
+  // Turn west.
+  alg.rules.push_back(RuleBuilder("R4", G)
+                          .cell("E", {G})
+                          .cell("S", {W})
+                          .cell("EE", wall)
+                          .cell("SS", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R5", W)
+                          .cell("N", {G})
+                          .cell("NE", {G})
+                          .cell("E", empty)
+                          .cell("EE", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  // Turn west, phase 2.  The corner G's view is symmetric under the SW-NE
+  // reflection (the W robot sits at distance 3, invisible), and on 3-column
+  // grids the W's view is mirror-symmetric as well, so neither may move
+  // first without the scheduler possibly flipping its direction.  The middle
+  // G is the only robot with an asymmetric view; it leads a four-step
+  // sequential dance (R6a-R6d) into the mirrored travel form.
+  alg.rules.push_back(RuleBuilder("R6a", G)
+                          .cell("NE", {G})
+                          .cell("S", {W})
+                          .cell("E", empty)
+                          .cell("W", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R6b", W)
+                          .cell("NE", {G})
+                          .cell("N", empty)
+                          .cell("E", empty)
+                          .cell("EE", wall)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R6c", G)
+                          .cell("S", {G})
+                          .cell("SS", {W})
+                          .cell("E", wall)
+                          .cell("W", empty)
+                          .moves(Dir::West)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R6d", G)
+                          .cell("SE", {G})
+                          .cell("EE", wall)
+                          .cell("E", empty)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  // End of exploration: the trailing G fills the last corner node.
+  alg.rules.push_back(RuleBuilder("R8", G)
+                          .cell("E", {G})
+                          .cell("SE", {W})
+                          .cell("W", wall)
+                          .cell("S", empty)
+                          .cell("SS", wall)
+                          .moves(Dir::South)
+                          .build());
+
+  alg.validate();
+  return alg;
+}
+
+}  // namespace lumi::algorithms

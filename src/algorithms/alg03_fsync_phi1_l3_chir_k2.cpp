@@ -1,0 +1,95 @@
+// Algorithm 3 (paper §4.2.5): FSYNC, phi=1, colors {G,W,B}, common
+// chirality, k=2.  Optimal robot count.
+//
+// Eastward pair is (G,W) with W leading; westward pair is (B,G) with B
+// leading — the direction of travel is encoded in the color pair, which is
+// how phi=1 robots with chirality tell east from west (paper Figs. 7-8):
+//  * turn west (east wall): W drops south becoming G (R3) while G keeps
+//    stepping east (R2); then the south robot becomes B stepping west (R4)
+//    while the north one drops (R5).
+//  * turn east (west wall): B drops (R8) while G steps west (R7); then B
+//    becomes W stepping east (R9) while G drops (R10).
+//  * termination: the trailing robot walks onto its partner, leaving a
+//    two-robot stack that matches no guard.
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi::algorithms {
+
+Algorithm algorithm3() {
+  using enum Color;
+  const CellPattern empty = CellPattern::empty();
+  const CellPattern wall = CellPattern::wall();
+
+  Algorithm alg;
+  alg.name = "alg03-fsync-phi1-l3-chir-k2";
+  alg.paper_section = "4.2.5";
+  alg.model = Synchrony::Fsync;
+  alg.phi = 1;
+  alg.num_colors = 3;
+  alg.chirality = Chirality::Common;
+  alg.min_rows = 2;
+  alg.min_cols = 3;
+  alg.initial_robots = {{{0, 0}, G}, {{0, 1}, W}};
+
+  // Proceed east: W leads, G follows onto W's vacated node.
+  alg.rules.push_back(RuleBuilder("R1", W).cell("W", {G}).cell("E", empty).moves(Dir::East).build());
+  alg.rules.push_back(RuleBuilder("R2", G).cell("E", {W}).moves(Dir::East).build());
+  // Turn west: W drops south as G (R3); the south G recolors B heading west
+  // (R4) while the north G drops (R5).
+  alg.rules.push_back(RuleBuilder("R3", W)
+                          .cell("W", {G})
+                          .cell("E", wall)
+                          .cell("S", empty)
+                          .becomes(G)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R4", G)
+                          .cell("N", {G})
+                          .cell("E", wall)
+                          .cell("W", empty)
+                          .becomes(B)
+                          .moves(Dir::West)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R5", G)
+                          .cell("S", {G})
+                          .cell("E", wall)
+                          .moves(Dir::South)
+                          .build());
+  // Proceed west: B leads, G follows.  Westward travel happens on rows >= 1,
+  // so the row above is always explored and empty; pinning N=empty stops the
+  // pair from matching these guards rotated 90 degrees at the west wall.
+  alg.rules.push_back(RuleBuilder("R6", B)
+                          .cell("E", {G})
+                          .cell("W", empty)
+                          .cell("N", empty)
+                          .moves(Dir::West)
+                          .build());
+  alg.rules.push_back(
+      RuleBuilder("R7", G).cell("W", {B}).cell("N", empty).moves(Dir::West).build());
+  // Turn east: B drops (R8); then recolors W stepping east (R9) while G
+  // drops onto B's vacated node (R10).
+  alg.rules.push_back(RuleBuilder("R8", B)
+                          .cell("E", {G})
+                          .cell("W", wall)
+                          .cell("S", empty)
+                          .cell("N", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R9", B)
+                          .cell("N", {G})
+                          .cell("W", wall)
+                          .cell("E", empty)
+                          .becomes(W)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R10", G)
+                          .cell("S", {B})
+                          .cell("W", wall)
+                          .moves(Dir::South)
+                          .build());
+
+  alg.validate();
+  return alg;
+}
+
+}  // namespace lumi::algorithms

@@ -1,0 +1,97 @@
+// Algorithm 4 (paper §4.2.6): FSYNC, phi=1, colors {G,W,B}, no chirality,
+// k=4.
+//
+// The robots hold a 2x2 block whose color pattern is chiral:
+//     G W
+//     B W
+// Turning west (Fig. 9): the east column drops south (R5+R6) while the west
+// column steps east (R2+R4), collapsing onto the east wall; then the two W
+// robots step west (R7+R8) while B and G drop south (R9+R10), producing the
+// mirror-image block for westward travel.  The final corner node is filled
+// by R5 (resp. its mirror), after which three robots share one node and no
+// guard matches.
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi::algorithms {
+
+Algorithm algorithm4() {
+  using enum Color;
+  const CellPattern empty = CellPattern::empty();
+  const CellPattern wall = CellPattern::wall();
+
+  Algorithm alg;
+  alg.name = "alg04-fsync-phi1-l3-nochir-k4";
+  alg.paper_section = "4.2.6";
+  alg.model = Synchrony::Fsync;
+  alg.phi = 1;
+  alg.num_colors = 3;
+  alg.chirality = Chirality::None;
+  alg.min_rows = 2;
+  alg.min_cols = 3;
+  alg.initial_robots = {{{0, 0}, G}, {{0, 1}, W}, {{1, 0}, B}, {{1, 1}, W}};
+
+  // Proceed east (all four step together).
+  alg.rules.push_back(RuleBuilder("R1", W)
+                          .cell("W", {G})
+                          .cell("S", {W})
+                          .cell("E", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(
+      RuleBuilder("R2", G).cell("E", {W}).cell("S", {B}).moves(Dir::East).build());
+  alg.rules.push_back(RuleBuilder("R3", W)
+                          .cell("W", {B})
+                          .cell("N", {W})
+                          .cell("E", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(
+      RuleBuilder("R4", B).cell("E", {W}).cell("N", {G}).moves(Dir::East).build());
+  // Turn west, phase 1: east column drops, west column closes in.
+  alg.rules.push_back(RuleBuilder("R5", W)
+                          .cell("W", {G})
+                          .cell("S", {W})
+                          .cell("E", wall)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R6", W)
+                          .cell("N", {W})
+                          .cell("W", {B})
+                          .cell("E", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  // Turn west, phase 2: from the wall column {G / W,B / W} the W robots fan
+  // west while B and G drop south.
+  alg.rules.push_back(RuleBuilder("R7", W)
+                          .center({W, B})
+                          .cell("N", {G})
+                          .cell("S", {W})
+                          .cell("E", wall)
+                          .cell("W", empty)
+                          .moves(Dir::West)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R8", W)
+                          .cell("N", {W, B})
+                          .cell("E", wall)
+                          .cell("W", empty)
+                          .moves(Dir::West)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R9", B)
+                          .center({W, B})
+                          .cell("N", {G})
+                          .cell("E", wall)
+                          .cell("S", {W})
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R10", G)
+                          .cell("S", {W, B})
+                          .cell("E", wall)
+                          .moves(Dir::South)
+                          .build());
+
+  alg.validate();
+  return alg;
+}
+
+}  // namespace lumi::algorithms

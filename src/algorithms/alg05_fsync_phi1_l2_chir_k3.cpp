@@ -1,0 +1,101 @@
+// Algorithm 5 (paper §4.2.7): FSYNC, phi=1, colors {G,W}, common chirality,
+// k=3.  Optimal robot count.
+//
+// Eastward form:  G G      Westward form:  W W
+//                 W                          G
+// (the hanging robot marks the trailing side; the color pattern encodes the
+// travel direction).  Turning west (Fig. 10) funnels the three robots through
+// a transient {G,W} stack at the east wall; turning east (Fig. 11) mirrors
+// the dance at the west wall with the roles of G and W exchanged
+// (R11-R14 correspond to R4-R7).  Termination leaves a three-robot stack in
+// the final corner.
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi::algorithms {
+
+Algorithm algorithm5() {
+  using enum Color;
+  const CellPattern empty = CellPattern::empty();
+  const CellPattern wall = CellPattern::wall();
+
+  Algorithm alg;
+  alg.name = "alg05-fsync-phi1-l2-chir-k3";
+  alg.paper_section = "4.2.7";
+  alg.model = Synchrony::Fsync;
+  alg.phi = 1;
+  alg.num_colors = 2;
+  alg.chirality = Chirality::Common;
+  alg.min_rows = 2;
+  alg.min_cols = 3;
+  alg.initial_robots = {{{0, 0}, G}, {{0, 1}, G}, {{1, 0}, W}};
+
+  // Proceed east.
+  alg.rules.push_back(RuleBuilder("R1", G).cell("W", {G}).cell("E", empty).moves(Dir::East).build());
+  alg.rules.push_back(RuleBuilder("R2", G).cell("E", {G}).cell("S", {W}).moves(Dir::East).build());
+  alg.rules.push_back(RuleBuilder("R3", W).cell("N", {G}).cell("E", empty).moves(Dir::East).build());
+  // Turn west.
+  alg.rules.push_back(RuleBuilder("R4", G)
+                          .cell("W", {G})
+                          .cell("E", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R5", G)
+                          .center({G, W})
+                          .cell("N", {G})
+                          .cell("E", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R6", W)
+                          .center({G, W})
+                          .cell("N", {G})
+                          .cell("E", wall)
+                          .cell("W", empty)
+                          .cell("S", empty)
+                          .moves(Dir::West)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R7", G)
+                          .cell("S", {G, W})
+                          .cell("E", wall)
+                          .becomes(W)
+                          .moves(Dir::South)
+                          .build());
+  // Proceed west.
+  alg.rules.push_back(RuleBuilder("R8", W).cell("E", {W}).cell("W", empty).moves(Dir::West).build());
+  alg.rules.push_back(RuleBuilder("R9", W).cell("W", {W}).cell("S", {G}).moves(Dir::West).build());
+  alg.rules.push_back(RuleBuilder("R10", G).cell("N", {W}).cell("W", empty).moves(Dir::West).build());
+  // Turn east (mirror of the west turn with G and W exchanged).
+  alg.rules.push_back(RuleBuilder("R11", W)
+                          .cell("E", {W})
+                          .cell("W", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R12", W)
+                          .center({G, W})
+                          .cell("N", {W})
+                          .cell("W", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R13", G)
+                          .center({G, W})
+                          .cell("N", {W})
+                          .cell("W", wall)
+                          .cell("E", empty)
+                          .cell("S", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R14", W)
+                          .cell("S", {G, W})
+                          .cell("W", wall)
+                          .becomes(G)
+                          .moves(Dir::South)
+                          .build());
+
+  alg.validate();
+  return alg;
+}
+
+}  // namespace lumi::algorithms

@@ -1,0 +1,72 @@
+// Algorithm 6 (paper §4.3.1): ASYNC, phi=2, colors {G,W,B}, common
+// chirality, k=2.  Optimal robot count.
+//
+// ASYNC-safety comes from strict alternation: in every reachable
+// configuration exactly one robot is enabled, so stale snapshots are
+// harmless.  Travelling east the pair is (G,W) alternating between compact
+// (distance 1) and stretched (distance 2); travelling west it is (B,W).
+// Turning west (Fig. 12): W drops (R3), then G recolors B and drops (R4) —
+// the recolored-but-not-yet-moved intermediate enables nothing.  Turning
+// east (Fig. 13): B drops (R7), recolors to G in place (R8), then W drops
+// (R9).
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi::algorithms {
+
+Algorithm algorithm6() {
+  using enum Color;
+  const CellPattern empty = CellPattern::empty();
+  const CellPattern wall = CellPattern::wall();
+
+  Algorithm alg;
+  alg.name = "alg06-async-phi2-l3-chir-k2";
+  alg.paper_section = "4.3.1";
+  alg.model = Synchrony::Async;
+  alg.phi = 2;
+  alg.num_colors = 3;
+  alg.chirality = Chirality::Common;
+  alg.min_rows = 2;
+  alg.min_cols = 3;
+  alg.initial_robots = {{{0, 0}, G}, {{0, 1}, W}};
+
+  // Proceed east: W stretches ahead, then G closes the gap.
+  alg.rules.push_back(RuleBuilder("R1", W).cell("W", {G}).cell("E", empty).moves(Dir::East).build());
+  alg.rules.push_back(RuleBuilder("R2", G).cell("EE", {W}).cell("E", empty).moves(Dir::East).build());
+  // Turn west.
+  alg.rules.push_back(RuleBuilder("R3", W)
+                          .cell("W", {G})
+                          .cell("E", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R4", G)
+                          .cell("SE", {W})
+                          .cell("EE", wall)
+                          .cell("E", empty)
+                          .cell("S", empty)
+                          .becomes(B)
+                          .moves(Dir::South)
+                          .build());
+  // Proceed west: B stretches ahead, then W closes the gap.
+  alg.rules.push_back(RuleBuilder("R5", B).cell("E", {W}).cell("W", empty).moves(Dir::West).build());
+  alg.rules.push_back(RuleBuilder("R6", W).cell("WW", {B}).cell("W", empty).moves(Dir::West).build());
+  // Turn east.
+  alg.rules.push_back(RuleBuilder("R7", B)
+                          .cell("E", {W})
+                          .cell("W", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R8", B).cell("NE", {W}).cell("W", wall).becomes(G).idle().build());
+  alg.rules.push_back(RuleBuilder("R9", W)
+                          .cell("SW", {G})
+                          .cell("N", empty)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+
+  alg.validate();
+  return alg;
+}
+
+}  // namespace lumi::algorithms

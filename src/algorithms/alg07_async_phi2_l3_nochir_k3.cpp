@@ -1,0 +1,176 @@
+// Algorithm 7 (paper §4.3.2): ASYNC, phi=2, colors {G,W,B}, no chirality,
+// k=3.
+//
+// The chiral form (B under the trailing G) rotates through three states as
+// the robots crawl east one at a time (R1-R3); at the east wall B drops
+// first (R4), then G recolors to W and drops (R5), B slides east under the
+// remaining W (R6), which finally recolors to G and drops (R7) — yielding
+// the mirror form for westward travel (Fig. 14).  R8 fills the last corner
+// node on the final row.
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi::algorithms {
+
+Algorithm algorithm7() {
+  using enum Color;
+  const CellPattern empty = CellPattern::empty();
+  const CellPattern wall = CellPattern::wall();
+
+  Algorithm alg;
+  alg.name = "alg07-async-phi2-l3-nochir-k3";
+  alg.paper_section = "4.3.2";
+  alg.model = Synchrony::Async;
+  alg.phi = 2;
+  alg.num_colors = 3;
+  alg.chirality = Chirality::None;
+  alg.min_rows = 2;
+  alg.min_cols = 3;
+  alg.initial_robots = {{{0, 0}, G}, {{0, 1}, W}, {{1, 0}, B}};
+
+  // Proceed east: B hops from under G to under W, then W stretches, then G.
+  alg.rules.push_back(RuleBuilder("R1", B)
+                          .cell("N", {G})
+                          .cell("NE", {W})
+                          .cell("E", empty)
+                          .cell("EE", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R2", W)
+                          .cell("W", {G})
+                          .cell("S", {B})
+                          .cell("E", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R3", G)
+                          .cell("EE", {W})
+                          .cell("SE", {B})
+                          .cell("E", empty)
+                          .moves(Dir::East)
+                          .build());
+  // Turn west.
+  alg.rules.push_back(RuleBuilder("R4", B)
+                          .cell("N", {G})
+                          .cell("NE", {W})
+                          .cell("E", empty)
+                          .cell("EE", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R5", G)
+                          .cell("E", {W})
+                          .cell("EE", wall)
+                          .cell("S", empty)
+                          .cell("SE", empty)
+                          .cell("SS", {B})
+                          .becomes(W)
+                          .moves(Dir::South)
+                          .build());
+  // R6: B hops east under the wall (the paper's step).  Beyond re-forming
+  // the travel shape this makes B visible (SS cell) to the corner W, whose
+  // view is otherwise symmetric under the SW-NE reflection — without the
+  // hop the scheduler could legally send the W west instead of south.  The
+  // WW=empty gate disables R6 on 3-column grids, where B itself sits on the
+  // mirror axis and could not hop deterministically (R9a-R9e below handle
+  // that case).
+  alg.rules.push_back(RuleBuilder("R6", B)
+                          .cell("N", {W})
+                          .cell("NW", empty)
+                          .cell("NE", empty)
+                          .cell("E", empty)
+                          .cell("EE", wall)
+                          .cell("WW", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R7", W)
+                          .cell("SW", {W})
+                          .cell("SS", {B})
+                          .cell("E", wall)
+                          .cell("S", empty)
+                          .becomes(G)
+                          .moves(Dir::South)
+                          .build());
+  // R9a-R9e: turning on 3-column grids (gated by the EE/WW double wall).
+  // Robots on the center column of a 3-wide grid have mirror-symmetric wall
+  // structure, and the corner robot's view stays symmetric under the
+  // diagonal reflection during the first turn, so the turn threads the wall
+  // column vertically: the middle W slides east under the corner (R9a), the
+  // corner W recolors to G in place (R9b, direction-free), B hops east under
+  // the column (R9c), the W slides back west (R9d), and G finally drops into
+  // place (R9e) with two distinct witnesses pinning its frame.
+  alg.rules.push_back(RuleBuilder("R9a", W)
+                          .cell("NE", {W})
+                          .cell("S", {B})
+                          .cell("E", empty)
+                          .cell("N", empty)
+                          .cell("EE", wall)
+                          .cell("WW", wall)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R9b", W)
+                          .cell("S", {W})
+                          .cell("E", wall)
+                          .cell("W", empty)
+                          .becomes(G)
+                          .idle()
+                          .build());
+  // Same recoloring when B's hop (R9c) was scheduled first and B already
+  // sits two cells below (the implicit gray would otherwise reject it).
+  alg.rules.push_back(RuleBuilder("R9b2", W)
+                          .cell("S", {W})
+                          .cell("SS", {B})
+                          .cell("E", wall)
+                          .cell("W", empty)
+                          .becomes(G)
+                          .idle()
+                          .build());
+  // Recovery: the corner W cannot distinguish R5's recolored-but-unmoved
+  // intermediate from the legit R9b state (the two views are images of one
+  // another under a symmetry), so it may recolor "early", leaving the
+  // middle W at the center instead of the wall column.  R9a2 slides it back
+  // into the intended position.
+  alg.rules.push_back(RuleBuilder("R9a2", W)
+                          .cell("NE", {G})
+                          .cell("S", {B})
+                          .cell("E", empty)
+                          .cell("N", empty)
+                          .cell("EE", wall)
+                          .cell("WW", wall)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R9c", B)
+                          .cell("NE", {W})
+                          .cell("E", empty)
+                          .cell("N", empty)
+                          .cell("NN", empty)
+                          .cell("EE", wall)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R9d", W)
+                          .cell("N", {G})
+                          .cell("S", {B})
+                          .cell("E", wall)
+                          .cell("W", empty)
+                          .moves(Dir::West)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R9e", G)
+                          .cell("SW", {W})
+                          .cell("SS", {B})
+                          .cell("S", empty)
+                          .cell("E", wall)
+                          .moves(Dir::South)
+                          .build());
+  // End of exploration: the trailing W fills the last corner node.
+  alg.rules.push_back(RuleBuilder("R8", W)
+                          .cell("E", {G})
+                          .cell("SE", {B})
+                          .cell("W", wall)
+                          .cell("S", empty)
+                          .cell("SS", wall)
+                          .moves(Dir::South)
+                          .build());
+
+  alg.validate();
+  return alg;
+}
+
+}  // namespace lumi::algorithms

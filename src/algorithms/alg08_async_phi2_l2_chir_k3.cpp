@@ -1,0 +1,147 @@
+// Algorithm 8 (paper §4.3.3): ASYNC, phi=2, colors {G,W}, common chirality,
+// k=3.
+//
+// Eastward form: a vertical G pair with W east of the north G; the three
+// robots step east one at a time (R1-R3).  Westward form: a horizontal W
+// pair with G between/above... precisely W,G on the north row and W under G.
+// The turns (Figs. 15-16) run seven sequential steps each, including the
+// in-place recolorings R5 (G->W at the east wall) and R13 (W->G at the west
+// wall).  Exactly one robot is enabled in every reachable configuration.
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi::algorithms {
+
+Algorithm algorithm8() {
+  using enum Color;
+  const CellPattern empty = CellPattern::empty();
+  const CellPattern wall = CellPattern::wall();
+
+  Algorithm alg;
+  alg.name = "alg08-async-phi2-l2-chir-k3";
+  alg.paper_section = "4.3.3";
+  alg.model = Synchrony::Async;
+  alg.phi = 2;
+  alg.num_colors = 2;
+  alg.chirality = Chirality::Common;
+  alg.min_rows = 2;
+  alg.min_cols = 3;
+  alg.initial_robots = {{{0, 0}, G}, {{0, 1}, W}, {{1, 0}, G}};
+
+  // Proceed east: W first, then the north G, then the south G.
+  alg.rules.push_back(RuleBuilder("R1", W)
+                          .cell("W", {G})
+                          .cell("SW", {G})
+                          .cell("E", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R2", G)
+                          .cell("S", {G})
+                          .cell("EE", {W})
+                          .cell("E", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R3", G)
+                          .cell("NE", {G})
+                          .cell("N", empty)
+                          .cell("E", empty)
+                          .moves(Dir::East)
+                          .build());
+  // Turn west (Fig. 15).
+  alg.rules.push_back(RuleBuilder("R4", W)
+                          .cell("W", {G})
+                          .cell("SW", {G})
+                          .cell("E", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R5", G)
+                          .cell("N", {G})
+                          .cell("E", {W})
+                          .cell("W", empty)
+                          .cell("S", empty)
+                          .becomes(W)
+                          .idle()
+                          .build());
+  alg.rules.push_back(RuleBuilder("R6", G)
+                          .cell("S", {W})
+                          .cell("SE", {W})
+                          .cell("E", empty)
+                          .cell("EE", wall)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R7", W)
+                          .cell("N", {G})
+                          .cell("W", {W})
+                          .cell("E", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R8", G)
+                          .cell("SW", {W})
+                          .cell("SS", {W})
+                          .cell("E", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  // Proceed west: the west W, then G, then the east W.
+  alg.rules.push_back(RuleBuilder("R9", W)
+                          .cell("E", {G})
+                          .cell("SE", {W})
+                          .cell("W", empty)
+                          .moves(Dir::West)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R10", G)
+                          .cell("S", {W})
+                          .cell("WW", {W})
+                          .cell("W", empty)
+                          .moves(Dir::West)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R11", W)
+                          .cell("NW", {G})
+                          .cell("N", empty)
+                          .cell("W", empty)
+                          .moves(Dir::West)
+                          .build());
+  // Turn east (Fig. 16).
+  alg.rules.push_back(RuleBuilder("R12", W)
+                          .cell("E", {G})
+                          .cell("SE", {W})
+                          .cell("W", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R13", W)
+                          .cell("NE", {G})
+                          .cell("E", {W})
+                          .cell("W", wall)
+                          .cell("S", empty)
+                          .becomes(G)
+                          .idle()
+                          .build());
+  alg.rules.push_back(RuleBuilder("R14", G)
+                          .cell("S", {W})
+                          .cell("SW", {G})
+                          .cell("W", empty)
+                          .cell("WW", wall)
+                          .moves(Dir::West)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R15", G)
+                          .cell("N", {G})
+                          .cell("E", {W})
+                          .cell("W", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R16", G)
+                          .cell("SE", {W})
+                          .cell("SS", {G})
+                          .cell("W", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+
+  alg.validate();
+  return alg;
+}
+
+}  // namespace lumi::algorithms

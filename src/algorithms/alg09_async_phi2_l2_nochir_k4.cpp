@@ -1,0 +1,114 @@
+// Algorithm 9 (paper §4.3.4): ASYNC, phi=2, colors {G,W}, no chirality, k=4.
+//
+// Eastward form (Fig. 17): G with a W tail of two on the north row plus one
+// W hanging under the node east of G:
+//     G W W
+//       W          (the hanging W marks the south side; the form is chiral)
+// The four robots step east one at a time (R1-R4).  Turning west (Fig. 18)
+// is an eight-step sequential dance including two in-place recolorings
+// (R6: W->G, R9: G->W); the last step reuses R4 through a rotated view.
+// R5 doubles as the final "fill the corner" move on the last row (its SS
+// constraint distinguishes mid-grid turns from the terminal row).
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi::algorithms {
+
+Algorithm algorithm9() {
+  using enum Color;
+  const CellPattern empty = CellPattern::empty();
+  const CellPattern wall = CellPattern::wall();
+
+  Algorithm alg;
+  alg.name = "alg09-async-phi2-l2-nochir-k4";
+  alg.paper_section = "4.3.4";
+  alg.model = Synchrony::Async;
+  alg.phi = 2;
+  alg.num_colors = 2;
+  alg.chirality = Chirality::None;
+  alg.min_rows = 2;
+  alg.min_cols = 3;
+  alg.initial_robots = {{{0, 0}, G}, {{0, 1}, W}, {{0, 2}, W}, {{1, 0}, W}};
+
+  // Proceed east: south W, then east W, then middle W, then G.
+  alg.rules.push_back(RuleBuilder("R1", W)
+                          .cell("N", {G})
+                          .cell("NE", {W})
+                          .cell("E", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R2", W)
+                          .cell("W", {W})
+                          .cell("WW", {G})
+                          .cell("SW", {W})
+                          .cell("E", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R3", W)
+                          .cell("W", {G})
+                          .cell("S", {W})
+                          .cell("EE", {W})
+                          .cell("E", empty)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R4", G)
+                          .cell("EE", {W})
+                          .cell("SE", {W})
+                          .cell("E", empty)
+                          .moves(Dir::East)
+                          .build());
+  // Turn west (Fig. 18) — and, via its mirror, the terminal corner fill.
+  alg.rules.push_back(RuleBuilder("R5", W)
+                          .cell("W", {W})
+                          .cell("WW", {G})
+                          .cell("SW", {W})
+                          .cell("E", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R6", W)
+                          .cell("W", {G})
+                          .cell("S", {W})
+                          .cell("SE", {W})
+                          .cell("E", empty)
+                          .cell("EE", wall)
+                          .cell("SS", empty)
+                          .becomes(G)
+                          .idle()
+                          .build());
+  alg.rules.push_back(RuleBuilder("R7", G)
+                          .cell("E", {G})
+                          .cell("SE", {W})
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R8", G)
+                          .cell("S", {W})
+                          .cell("SW", {G})
+                          .cell("SE", {W})
+                          .cell("E", empty)
+                          .cell("EE", wall)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R9", G)
+                          .cell("E", {W})
+                          .cell("EE", {W})
+                          .cell("N", empty)
+                          .cell("S", empty)
+                          .cell("SE", empty)
+                          .becomes(W)
+                          .idle()
+                          .build());
+  alg.rules.push_back(RuleBuilder("R10", W)
+                          .cell("N", {G})
+                          .cell("W", {W})
+                          .cell("WW", {W})
+                          .cell("E", wall)
+                          .cell("S", empty)
+                          .moves(Dir::South)
+                          .build());
+
+  alg.validate();
+  return alg;
+}
+
+}  // namespace lumi::algorithms

@@ -1,0 +1,122 @@
+// Algorithm 10 (paper §4.3.5): ASYNC, phi=1, colors {G,W,B}, common
+// chirality, k=3.  Optimal robot count.
+//
+// A three-robot "train" crawls by leapfrogging through two-robot stacks, the
+// technique of Ooshita & Tixeuil's ring exploration (paper Fig. 19):
+//   G,W,W --R1--> {G,W},W --R2--> G,{G,W} --R3--> .,G,W,W
+// Eastward the train is (G,W,W); westward it is (B,B,W) with stacks {W,B}
+// (rules R7-R9 replay R1-R3 with colors G->W, W->B under mirrored views).
+// Turning west (Fig. 20): R4 converts the leading stack's G to B heading
+// south, R5/R6 thread the remaining robots down, R7 re-enters the westward
+// crawl.  Turning east (Fig. 21) undoes the recoloring via R10-R15.
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi::algorithms {
+
+Algorithm algorithm10() {
+  using enum Color;
+  const CellPattern empty = CellPattern::empty();
+  const CellPattern wall = CellPattern::wall();
+
+  Algorithm alg;
+  alg.name = "alg10-async-phi1-l3-chir-k3";
+  alg.paper_section = "4.3.5";
+  alg.model = Synchrony::Async;
+  alg.phi = 1;
+  alg.num_colors = 3;
+  alg.chirality = Chirality::Common;
+  alg.min_rows = 2;
+  alg.min_cols = 3;
+  alg.initial_robots = {{{0, 0}, G}, {{0, 1}, W}, {{0, 2}, W}};
+
+  // Proceed east (Fig. 19): the rear robot leapfrogs onto the middle one.
+  alg.rules.push_back(RuleBuilder("R1", G).cell("E", {W}).moves(Dir::East).build());
+  alg.rules.push_back(
+      RuleBuilder("R2", W).center({G, W}).cell("E", {W}).becomes(G).moves(Dir::East).build());
+  alg.rules.push_back(RuleBuilder("R3", G)
+                          .center({G, W})
+                          .cell("W", {G})
+                          .cell("E", empty)
+                          .becomes(W)
+                          .moves(Dir::East)
+                          .build());
+  // Turn west (Fig. 20).
+  alg.rules.push_back(RuleBuilder("R4", G)
+                          .center({G, W})
+                          .cell("W", {G})
+                          .cell("E", wall)
+                          .cell("S", empty)
+                          .becomes(B)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R5", G)
+                          .center({G, W})
+                          .cell("S", {B})
+                          .cell("E", wall)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R6", G)
+                          .center({G, B})
+                          .cell("N", {W})
+                          .cell("E", wall)
+                          .cell("W", empty)
+                          .becomes(B)
+                          .moves(Dir::West)
+                          .build());
+  // Proceed west: R7-R9 mirror R1-R3 with (G,W) -> (W,B).
+  alg.rules.push_back(RuleBuilder("R7", W).cell("E", {B}).moves(Dir::East).build());
+  alg.rules.push_back(
+      RuleBuilder("R8", B).center({W, B}).cell("W", {B}).becomes(W).moves(Dir::West).build());
+  alg.rules.push_back(RuleBuilder("R9", W)
+                          .center({W, B})
+                          .cell("E", {W})
+                          .cell("W", empty)
+                          .becomes(B)
+                          .moves(Dir::West)
+                          .build());
+  // Turn east (Fig. 21).
+  alg.rules.push_back(RuleBuilder("R10", W)
+                          .center({W, B})
+                          .cell("E", {W})
+                          .cell("W", wall)
+                          .cell("S", empty)
+                          .cell("N", empty)
+                          .becomes(G)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R11", W)
+                          .center({W, B})
+                          .cell("S", {G})
+                          .cell("W", wall)
+                          .cell("N", empty)
+                          .becomes(B)
+                          .moves(Dir::South)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R12", B)
+                          .center({G, B})
+                          .cell("N", {B})
+                          .cell("W", wall)
+                          .cell("E", empty)
+                          .becomes(G)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R13", B).cell("S", {G}).cell("W", wall).moves(Dir::South).build());
+  alg.rules.push_back(RuleBuilder("R14", B)
+                          .center({G, B})
+                          .cell("E", {G})
+                          .cell("W", wall)
+                          .moves(Dir::East)
+                          .build());
+  alg.rules.push_back(RuleBuilder("R15", B)
+                          .center({G, B})
+                          .cell("W", {G})
+                          .cell("E", empty)
+                          .becomes(W)
+                          .idle()
+                          .build());
+
+  alg.validate();
+  return alg;
+}
+
+}  // namespace lumi::algorithms

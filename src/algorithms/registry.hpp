@@ -1,0 +1,32 @@
+// Catalog of the fourteen Table-1 entries: model assumptions, bounds and the
+// algorithm implementing each row.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "src/core/algorithm.hpp"
+
+namespace lumi::algorithms {
+
+struct TableEntry {
+  std::string section;       ///< paper section, e.g. "4.2.1"
+  Synchrony synchrony;       ///< model column of Table 1
+  int phi;
+  int num_colors;
+  Chirality chirality;
+  int lower_bound;           ///< robots, from [5] or the paper's Section 3
+  std::string lower_bound_source;  ///< "[5]" or "§3"
+  int upper_bound;           ///< robots used by the implementing algorithm
+  bool optimal;              ///< upper == lower (starred in Table 1)
+  std::function<Algorithm()> make;
+};
+
+/// The fourteen rows of Table 1, in the paper's order.
+std::span<const TableEntry> table1();
+
+/// Entry by paper section; throws std::out_of_range when absent.
+const TableEntry& entry(const std::string& section);
+
+}  // namespace lumi::algorithms

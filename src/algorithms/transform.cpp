@@ -1,0 +1,102 @@
+#include "src/algorithms/transform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi::algorithms {
+
+namespace {
+
+ColorMultiset replace_in_multiset(const ColorMultiset& ms, Color from, Color to) {
+  ColorMultiset out;
+  for (int i = 0; i < kMaxColors; ++i) {
+    const Color c = static_cast<Color>(i);
+    const int n = ms.count(c);
+    for (int j = 0; j < n; ++j) {
+      if (c == from) {
+        out.add(to);
+        out.add(to);
+      } else {
+        out.add(c);
+      }
+    }
+  }
+  return out;
+}
+
+CellPattern transform_pattern(const CellPattern& p, Color from, Color to) {
+  if (p.kind() != CellPattern::Kind::Multiset) return p;
+  return CellPattern::exactly(replace_in_multiset(p.multiset(), from, to));
+}
+
+}  // namespace
+
+Algorithm duplicate_color(const Algorithm& base, Color from, Color to, std::string name,
+                          std::string paper_section) {
+  if (base.model != Synchrony::Fsync) {
+    throw std::invalid_argument("duplicate_color: only sound for FSYNC algorithms");
+  }
+  for (const Rule& r : base.rules) {
+    if ((r.self == from) != (r.new_color == from)) {
+      throw std::invalid_argument("duplicate_color: " + r.label +
+                                  " recolors the duplicated color; transform unsound");
+    }
+  }
+
+  Algorithm out = base;
+  out.name = std::move(name);
+  out.paper_section = std::move(paper_section);
+  out.initial_robots.clear();
+  for (const auto& [pos, color] : base.initial_robots) {
+    if (color == from) {
+      out.initial_robots.emplace_back(pos, to);
+      out.initial_robots.emplace_back(pos, to);
+    } else {
+      out.initial_robots.emplace_back(pos, color);
+    }
+  }
+  for (Rule& rule : out.rules) {
+    if (rule.self == from) rule.self = to;
+    if (rule.new_color == from) rule.new_color = to;
+    for (auto& [offset, pattern] : rule.cells) pattern = transform_pattern(pattern, from, to);
+  }
+  // Shrink the palette to the colors actually used.
+  int max_color = 0;
+  auto track = [&max_color](Color c) {
+    max_color = std::max(max_color, static_cast<int>(c));
+  };
+  for (const auto& [pos, color] : out.initial_robots) track(color);
+  for (const Rule& rule : out.rules) {
+    track(rule.self);
+    track(rule.new_color);
+    for (const auto& [offset, pattern] : rule.cells) {
+      if (pattern.kind() == CellPattern::Kind::Multiset) {
+        for (int i = 0; i < kMaxColors; ++i) {
+          if (pattern.multiset().count(static_cast<Color>(i)) > 0) track(static_cast<Color>(i));
+        }
+      }
+    }
+  }
+  out.num_colors = max_color + 1;
+  out.validate();
+  return out;
+}
+
+Algorithm derived423() {
+  return duplicate_color(algorithm1(), Color::W, Color::G, "alg423-fsync-phi2-l1-chir-k3",
+                         "4.2.3");
+}
+
+Algorithm derived424() {
+  return duplicate_color(algorithm2(), Color::W, Color::G, "alg424-fsync-phi2-l1-nochir-k4",
+                         "4.2.4");
+}
+
+Algorithm derived428() {
+  return duplicate_color(algorithm4(), Color::B, Color::G, "alg428-fsync-phi1-l2-nochir-k5",
+                         "4.2.8");
+}
+
+}  // namespace lumi::algorithms

@@ -1,0 +1,23 @@
+// Color-duplication transform (paper §4.2.3, §4.2.4, §4.2.8): in an FSYNC
+// algorithm whose executions never recolor robots of color `from` and never
+// co-locate `from` with other colors in guard multisets beyond what the
+// guards state, the robot of color `from` can be *represented by two robots*
+// of color `to`, reducing the palette by one at the cost of one robot.
+#pragma once
+
+#include <string>
+
+#include "src/core/algorithm.hpp"
+
+namespace lumi::algorithms {
+
+/// Returns a copy of `base` where every robot of color `from` becomes two
+/// robots of color `to`: every occurrence of `from` in initial placements
+/// and guard multisets is replaced by two `to`s, and rules acting on `from`
+/// act on `to` with the doubled center.  Throws std::invalid_argument if
+/// `base` recolors `from` robots (the transform would be unsound) or is not
+/// an FSYNC algorithm (the two representatives must move in lockstep).
+Algorithm duplicate_color(const Algorithm& base, Color from, Color to, std::string name,
+                          std::string paper_section);
+
+}  // namespace lumi::algorithms

@@ -1,0 +1,321 @@
+#include "src/analysis/model_checker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/core/matching.hpp"
+#include "src/engine/sync_engine.hpp"
+
+namespace lumi {
+
+namespace {
+
+/// Robot phase in the ASYNC checker (sync models keep everything Idle).
+enum class McPhase : std::uint8_t { Idle = 0, Decided = 1, Colored = 2 };
+
+struct McRobot {
+  Vec pos;
+  Color color = Color::G;
+  McPhase phase = McPhase::Idle;
+  Color pending_color = Color::G;
+  std::int8_t pending_move = -1;  ///< -1 idle, else Dir
+
+  friend bool operator==(const McRobot&, const McRobot&) = default;
+};
+
+struct McState {
+  std::vector<McRobot> robots;
+  std::uint64_t visited = 0;
+};
+
+std::string encode(const Grid& grid, const McState& s) {
+  std::vector<std::uint32_t> keys;
+  keys.reserve(s.robots.size());
+  for (const McRobot& r : s.robots) {
+    std::uint32_t k = static_cast<std::uint32_t>(grid.index(r.pos));
+    k = (k << 2) | static_cast<std::uint32_t>(r.color);
+    k = (k << 2) | static_cast<std::uint32_t>(r.phase);
+    k = (k << 2) | static_cast<std::uint32_t>(r.pending_color);
+    k = (k << 3) | static_cast<std::uint32_t>(r.pending_move + 1);
+    keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::string out;
+  out.reserve(keys.size() * 4 + 8);
+  for (std::uint32_t k : keys) {
+    for (int b = 0; b < 4; ++b) out.push_back(static_cast<char>((k >> (8 * b)) & 0xFF));
+  }
+  for (int b = 0; b < 8; ++b) out.push_back(static_cast<char>((s.visited >> (8 * b)) & 0xFF));
+  return out;
+}
+
+Configuration to_config(const Grid& grid, const McState& s) {
+  std::vector<Robot> robots;
+  robots.reserve(s.robots.size());
+  for (const McRobot& r : s.robots) robots.push_back(Robot{r.pos, r.color});
+  return Configuration(grid, std::move(robots));
+}
+
+std::string render(const Grid& grid, const McState& s) {
+  std::string out = to_config(grid, s).to_string();
+  for (std::size_t i = 0; i < s.robots.size(); ++i) {
+    const McRobot& r = s.robots[i];
+    if (r.phase == McPhase::Idle) continue;
+    out += " [robot@(" + std::to_string(r.pos.row) + "," + std::to_string(r.pos.col) + ") " +
+           (r.phase == McPhase::Decided ? "decided" : "colored") + "]";
+  }
+  return out;
+}
+
+void mark_visited(const Grid& grid, McState& s) {
+  for (const McRobot& r : s.robots) s.visited |= 1ULL << grid.index(r.pos);
+}
+
+class Checker {
+ public:
+  Checker(const Algorithm& alg, const Grid& grid, CheckModel model, const CheckOptions& opts)
+      : alg_(alg), grid_(grid), model_(model), opts_(opts) {
+    if (grid.num_nodes() > 64) throw std::invalid_argument("model_check: grid too large (>64)");
+  }
+
+  CheckResult run() {
+    McState init;
+    for (const auto& [pos, color] : alg_.initial_robots) {
+      init.robots.push_back(McRobot{pos, color, McPhase::Idle, color, -1});
+    }
+    if (grid_.rows() < alg_.min_rows || grid_.cols() < alg_.min_cols) {
+      throw std::invalid_argument("model_check: grid below the algorithm's minimum");
+    }
+    mark_visited(grid_, init);
+    dfs(init);
+    if (result_.failure.empty()) result_.ok = true;
+    return result_;
+  }
+
+ private:
+  // Iterative DFS with tri-color marking: a back edge (successor on the
+  // current stack) is a reachable cycle -> failure.
+  void dfs(const McState& root) {
+    struct Frame {
+      McState state;
+      std::string key;
+      std::vector<McState> succ;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    auto push = [&](McState s) -> bool {
+      std::string key = encode(grid_, s);
+      auto it = color_.find(key);
+      if (it != color_.end()) {
+        if (it->second == 1) {
+          fail("cycle: a schedule revisits a configuration (non-terminating execution)",
+               stack, &s);
+        }
+        return false;  // black: fully explored before
+      }
+      color_.emplace(key, 1);
+      result_.states += 1;
+      if (result_.states > opts_.max_states) {
+        fail("state budget exhausted (" + std::to_string(opts_.max_states) + ")", stack, &s);
+        return false;
+      }
+      Frame f;
+      f.state = std::move(s);
+      f.key = std::move(key);
+      try {
+        f.succ = successors(f.state);
+      } catch (const std::exception& e) {
+        fail(std::string("engine error: ") + e.what(), stack, &f.state);
+        return false;
+      }
+      if (f.succ.empty()) {
+        result_.terminal_states += 1;
+        if (f.state.visited != full_mask()) {
+          fail("terminal configuration with incomplete coverage (" +
+                   std::to_string(__builtin_popcountll(f.state.visited)) + "/" +
+                   std::to_string(grid_.num_nodes()) + " nodes)",
+               stack, &f.state);
+        }
+      }
+      stack.push_back(std::move(f));
+      return true;
+    };
+
+    push(root);
+    while (!stack.empty() && result_.failure.empty()) {
+      Frame& top = stack.back();
+      if (top.next >= top.succ.size()) {
+        color_[top.key] = 2;
+        stack.pop_back();
+        continue;
+      }
+      McState next = std::move(top.succ[top.next]);
+      top.next += 1;
+      result_.transitions += 1;
+      push(std::move(next));
+    }
+  }
+
+  template <typename Stack>
+  void fail(const std::string& reason, const Stack& stack, const McState* offending) {
+    if (!result_.failure.empty()) return;
+    result_.failure = reason;
+    if (opts_.want_witness) {
+      for (const auto& frame : stack) result_.witness.push_back(render(grid_, frame.state));
+      if (offending != nullptr) result_.witness.push_back(render(grid_, *offending));
+      // Keep witnesses reviewable.
+      if (result_.witness.size() > 40) {
+        result_.witness.erase(result_.witness.begin(),
+                              result_.witness.end() - 40);
+      }
+    }
+  }
+
+  std::uint64_t full_mask() const {
+    const int n = grid_.num_nodes();
+    return n == 64 ? ~0ULL : ((1ULL << n) - 1);
+  }
+
+  std::vector<McState> successors(const McState& s) {
+    return model_ == CheckModel::Async ? async_successors(s) : sync_successors(s);
+  }
+
+  // --- FSYNC / SSYNC -------------------------------------------------------
+  std::vector<McState> sync_successors(const McState& s) {
+    const Configuration config = to_config(grid_, s);
+    std::vector<int> enabled;
+    std::vector<std::vector<Action>> actions(s.robots.size());
+    for (int i = 0; i < static_cast<int>(s.robots.size()); ++i) {
+      actions[static_cast<std::size_t>(i)] = enabled_actions(alg_, config, i);
+      if (!actions[static_cast<std::size_t>(i)].empty()) enabled.push_back(i);
+    }
+    std::vector<McState> out;
+    if (enabled.empty()) return out;
+
+    if (model_ == CheckModel::Fsync) {
+      emit_selections(s, actions, enabled, out);  // the full set, all choice products
+    } else {
+      // SSYNC: every nonempty subset of the enabled robots.
+      const std::size_t n = enabled.size();
+      for (std::uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+        std::vector<int> subset;
+        for (std::size_t b = 0; b < n; ++b) {
+          if (mask & (1ULL << b)) subset.push_back(enabled[b]);
+        }
+        emit_selections(s, actions, subset, out);
+      }
+    }
+    return out;
+  }
+
+  /// Emits one successor per combination of action choices for `subset`.
+  void emit_selections(const McState& s, const std::vector<std::vector<Action>>& actions,
+                       const std::vector<int>& subset, std::vector<McState>& out) {
+    std::vector<std::size_t> choice(subset.size(), 0);
+    while (true) {
+      McState next = s;
+      // Simultaneous application: all moves relative to the current state.
+      for (std::size_t i = 0; i < subset.size(); ++i) {
+        const int robot = subset[i];
+        const Action& a = actions[static_cast<std::size_t>(robot)][choice[i]];
+        McRobot& r = next.robots[static_cast<std::size_t>(robot)];
+        r.color = a.new_color;
+        r.pending_color = a.new_color;
+        if (a.move.has_value()) {
+          const Vec to = r.pos + dir_vec(*a.move);
+          if (!grid_.contains(to)) throw std::logic_error("robot would leave the grid");
+          r.pos = to;
+        }
+      }
+      mark_visited(grid_, next);
+      out.push_back(std::move(next));
+      // Next choice vector (mixed-radix increment).
+      std::size_t d = 0;
+      while (d < subset.size()) {
+        choice[d] += 1;
+        if (choice[d] < actions[static_cast<std::size_t>(subset[d])].size()) break;
+        choice[d] = 0;
+        d += 1;
+      }
+      if (d == subset.size()) break;
+    }
+  }
+
+  // --- ASYNC ---------------------------------------------------------------
+  std::vector<McState> async_successors(const McState& s) {
+    const Configuration config = to_config(grid_, s);
+    std::vector<McState> out;
+    for (std::size_t i = 0; i < s.robots.size(); ++i) {
+      const McRobot& r = s.robots[i];
+      switch (r.phase) {
+        case McPhase::Idle: {
+          // Look: one successor per distinct enabled behavior (stale-view
+          // decisions are modeled by the delay before the later phases).
+          for (const Action& a :
+               enabled_actions(alg_, config, static_cast<int>(i))) {
+            McState next = s;
+            McRobot& nr = next.robots[i];
+            nr.phase = McPhase::Decided;
+            nr.pending_color = a.new_color;
+            nr.pending_move = a.move.has_value() ? static_cast<std::int8_t>(*a.move) : -1;
+            out.push_back(std::move(next));
+          }
+          break;
+        }
+        case McPhase::Decided: {  // Compute-end: color becomes visible.
+          McState next = s;
+          McRobot& nr = next.robots[i];
+          nr.color = nr.pending_color;
+          nr.phase = McPhase::Colored;
+          out.push_back(std::move(next));
+          break;
+        }
+        case McPhase::Colored: {  // Move.
+          McState next = s;
+          McRobot& nr = next.robots[i];
+          if (nr.pending_move >= 0) {
+            const Vec to = nr.pos + dir_vec(static_cast<Dir>(nr.pending_move));
+            if (!grid_.contains(to)) throw std::logic_error("robot would leave the grid");
+            nr.pos = to;
+          }
+          nr.phase = McPhase::Idle;
+          nr.pending_move = -1;
+          nr.pending_color = nr.color;
+          mark_visited(grid_, next);
+          out.push_back(std::move(next));
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  const Algorithm& alg_;
+  const Grid& grid_;
+  CheckModel model_;
+  CheckOptions opts_;
+  CheckResult result_;
+  std::unordered_map<std::string, std::uint8_t> color_;  // 1 gray, 2 black
+};
+
+}  // namespace
+
+CheckResult model_check(const Algorithm& alg, const Grid& grid, CheckModel model,
+                        const CheckOptions& opts) {
+  Checker checker(alg, grid, model, opts);
+  return checker.run();
+}
+
+std::string CheckResult::to_string() const {
+  std::string out = ok ? "OK" : ("FAIL: " + failure);
+  out += " (" + std::to_string(states) + " states, " + std::to_string(transitions) +
+         " transitions, " + std::to_string(terminal_states) + " terminal)";
+  if (!ok && !witness.empty()) {
+    out += "\n  witness tail:";
+    for (const std::string& w : witness) out += "\n    " + w;
+  }
+  return out;
+}
+
+}  // namespace lumi

@@ -1,0 +1,42 @@
+#include "src/analysis/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lumi {
+
+Aggregate aggregate(const std::vector<long>& samples) {
+  Aggregate a;
+  if (samples.empty()) return a;
+  a.count = static_cast<long>(samples.size());
+  a.min = *std::min_element(samples.begin(), samples.end());
+  a.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (long s : samples) sum += static_cast<double>(s);
+  a.mean = sum / static_cast<double>(a.count);
+  return a;
+}
+
+double linear_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::invalid_argument("linear_slope: need two equally sized samples");
+  }
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) throw std::invalid_argument("linear_slope: degenerate x");
+  return (n * sxy - sx * sy) / denom;
+}
+
+std::string Aggregate::to_string() const {
+  return "n=" + std::to_string(count) + " mean=" + std::to_string(mean) +
+         " min=" + std::to_string(min) + " max=" + std::to_string(max);
+}
+
+}  // namespace lumi

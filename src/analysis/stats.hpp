@@ -1,0 +1,24 @@
+// Small aggregation helpers for run statistics (used by benches and
+// examples to report move/instant counts across seeds and grid sizes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lumi {
+
+struct Aggregate {
+  long count = 0;
+  double mean = 0.0;
+  long min = 0;
+  long max = 0;
+
+  std::string to_string() const;
+};
+
+Aggregate aggregate(const std::vector<long>& samples);
+
+/// Least-squares slope of y against x (used to confirm O(m*n) move counts).
+double linear_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace lumi

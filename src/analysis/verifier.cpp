@@ -1,0 +1,97 @@
+#include "src/analysis/verifier.hpp"
+
+#include <memory>
+
+namespace lumi {
+
+namespace {
+
+std::string describe_run(const RunResult& r, const Grid& grid) {
+  if (!r.failure.empty()) return r.failure;
+  if (!r.terminated) return "did not terminate";
+  if (!r.explored_all) {
+    return "terminated after visiting " + std::to_string(r.visited_count()) + "/" +
+           std::to_string(grid.num_nodes()) + " nodes";
+  }
+  return "";
+}
+
+void record(SweepReport& report, const RunResult& result, const Grid& grid, int rows, int cols,
+            const std::string& sched, unsigned seed) {
+  report.runs += 1;
+  report.total_instants += result.stats.instants;
+  report.total_moves += result.stats.moves;
+  const std::string reason = describe_run(result, grid);
+  if (!reason.empty()) {
+    report.failures.push_back(SweepFailure{rows, cols, sched, seed, reason});
+  }
+}
+
+}  // namespace
+
+SweepReport verify_sweep(const Algorithm& alg, const SweepOptions& opts) {
+  SweepReport report;
+  const int min_rows = opts.min_rows > 0 ? opts.min_rows : alg.min_rows;
+  const int min_cols = opts.min_cols > 0 ? opts.min_cols : alg.min_cols;
+  for (int rows = min_rows; rows <= opts.max_rows; ++rows) {
+    for (int cols = min_cols; cols <= opts.max_cols; ++cols) {
+      const Grid grid(rows, cols);
+      RunOptions run_opts;
+      run_opts.max_steps = opts.max_steps;
+
+      if (opts.run_fsync) {
+        FsyncScheduler sched;
+        RunOptions fsync_opts = run_opts;
+        fsync_opts.require_unique_actions = true;
+        record(report, run_sync(alg, grid, sched, fsync_opts), grid, rows, cols, sched.name(), 0);
+      }
+      if (opts.run_ssync) {
+        for (int s = 0; s < opts.seeds; ++s) {
+          const unsigned seed = static_cast<unsigned>(1000 * rows + 10 * cols + s);
+          SsyncRandomScheduler sched(seed);
+          record(report, run_sync(alg, grid, sched, run_opts), grid, rows, cols, sched.name(),
+                 seed);
+        }
+        SsyncRoundRobinScheduler rr;
+        record(report, run_sync(alg, grid, rr, run_opts), grid, rows, cols, rr.name(), 0);
+      }
+      if (opts.run_async) {
+        for (int s = 0; s < opts.seeds; ++s) {
+          const unsigned seed = static_cast<unsigned>(2000 * rows + 20 * cols + s);
+          AsyncRandomScheduler sched(seed);
+          record(report, run_async(alg, grid, sched, run_opts), grid, rows, cols, sched.name(),
+                 seed);
+          AsyncStaleStressScheduler stress(seed);
+          record(report, run_async(alg, grid, stress, run_opts), grid, rows, cols, stress.name(),
+                 seed);
+        }
+        AsyncCentralizedScheduler central;
+        record(report, run_async(alg, grid, central, run_opts), grid, rows, cols, central.name(),
+               0);
+      }
+    }
+  }
+  return report;
+}
+
+SweepOptions default_sweep_for(const Algorithm& alg) {
+  SweepOptions opts;
+  opts.run_fsync = true;
+  opts.run_ssync = alg.model != Synchrony::Fsync;
+  opts.run_async = alg.model == Synchrony::Async;
+  return opts;
+}
+
+std::string SweepReport::to_string() const {
+  std::string out = std::to_string(runs) + " runs, " + std::to_string(failures.size()) +
+                    " failures";
+  for (std::size_t i = 0; i < failures.size() && i < 5; ++i) {
+    const SweepFailure& f = failures[i];
+    out += "\n  " + std::to_string(f.rows) + "x" + std::to_string(f.cols) + " [" + f.scheduler +
+           " seed " + std::to_string(f.seed) + "]: " + f.reason;
+  }
+  if (failures.size() > 5) out += "\n  ...";
+  return out;
+}
+
+}  // namespace lumi

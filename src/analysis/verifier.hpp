@@ -1,0 +1,53 @@
+// Randomized verification harness: runs an algorithm over sweeps of grid
+// sizes, schedulers and seeds, checking terminating exploration each time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/algorithm.hpp"
+#include "src/engine/runner.hpp"
+
+namespace lumi {
+
+struct SweepOptions {
+  int min_rows = 0;   ///< 0 = use the algorithm's minimum
+  int max_rows = 7;
+  int min_cols = 0;
+  int max_cols = 8;
+  int seeds = 10;           ///< random schedulers per (m, n, kind)
+  long max_steps = 500'000;
+  /// Scheduler families to exercise.  FSYNC-only algorithms are only sound
+  /// under the FSYNC scheduler; ASYNC algorithms are exercised under all.
+  bool run_fsync = true;
+  bool run_ssync = false;
+  bool run_async = false;
+};
+
+struct SweepFailure {
+  int rows = 0;
+  int cols = 0;
+  std::string scheduler;
+  unsigned seed = 0;
+  std::string reason;
+};
+
+struct SweepReport {
+  long runs = 0;
+  long total_instants = 0;
+  long total_moves = 0;
+  std::vector<SweepFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string to_string() const;
+};
+
+/// Exercises `alg` across the sweep; every run must terminate with full
+/// coverage.  FSYNC runs additionally require action uniqueness (the
+/// paper's algorithms are deterministic under FSYNC).
+SweepReport verify_sweep(const Algorithm& alg, const SweepOptions& opts = {});
+
+/// Picks the scheduler families appropriate for `alg.model`.
+SweepOptions default_sweep_for(const Algorithm& alg);
+
+}  // namespace lumi

@@ -1,0 +1,54 @@
+#include "src/core/color.hpp"
+
+#include <stdexcept>
+
+namespace lumi {
+
+char color_letter(Color c) {
+  switch (c) {
+    case Color::G: return 'G';
+    case Color::W: return 'W';
+    case Color::B: return 'B';
+    case Color::R: return 'R';
+  }
+  return '?';
+}
+
+std::string to_string(Color c) { return std::string(1, color_letter(c)); }
+
+Color color_from_letter(char letter) {
+  switch (letter) {
+    case 'G': return Color::G;
+    case 'W': return Color::W;
+    case 'B': return Color::B;
+    case 'R': return Color::R;
+    default: throw std::invalid_argument(std::string("unknown color letter: ") + letter);
+  }
+}
+
+void ColorMultiset::add(Color c) {
+  if (count(c) >= kMaxRobotsPerNode) throw std::overflow_error("ColorMultiset counter overflow");
+  bits_ = static_cast<std::uint16_t>(bits_ + (1u << shift(c)));
+}
+
+void ColorMultiset::remove(Color c) {
+  if (count(c) == 0) throw std::logic_error("ColorMultiset::remove: color not present");
+  bits_ = static_cast<std::uint16_t>(bits_ - (1u << shift(c)));
+}
+
+std::string ColorMultiset::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < kMaxColors; ++i) {
+    const Color c = static_cast<Color>(i);
+    for (int n = 0; n < count(c); ++n) {
+      if (!first) out += ',';
+      out += color_letter(c);
+      first = false;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace lumi

@@ -1,0 +1,59 @@
+// Light colors and per-node color multisets.
+//
+// The paper's algorithms use at most three colors (G, W, B); a fourth slot is
+// available for user-defined algorithms.  A node can host several robots, so
+// its content is a multiset of colors; we pack the four counters into a
+// single 16-bit word (4 bits each) which makes multisets trivially
+// comparable and hashable.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace lumi {
+
+enum class Color : std::uint8_t { G = 0, W = 1, B = 2, R = 3 };
+
+inline constexpr int kMaxColors = 4;
+inline constexpr int kMaxRobotsPerNode = 15;  // 4-bit counter per color
+
+char color_letter(Color c);
+std::string to_string(Color c);
+/// Parses a single-letter color name; throws std::invalid_argument otherwise.
+Color color_from_letter(char letter);
+
+/// Multiset of robot colors present on one node.
+class ColorMultiset {
+ public:
+  constexpr ColorMultiset() = default;
+  ColorMultiset(std::initializer_list<Color> colors) {
+    for (Color c : colors) add(c);
+  }
+
+  constexpr int count(Color c) const {
+    return static_cast<int>((bits_ >> shift(c)) & 0xF);
+  }
+  constexpr int size() const {
+    int total = 0;
+    for (int i = 0; i < kMaxColors; ++i) total += static_cast<int>((bits_ >> (4 * i)) & 0xF);
+    return total;
+  }
+  constexpr bool empty() const { return bits_ == 0; }
+
+  void add(Color c);     ///< throws std::overflow_error beyond kMaxRobotsPerNode
+  void remove(Color c);  ///< throws std::logic_error if absent
+
+  constexpr std::uint16_t raw() const { return bits_; }
+
+  friend constexpr bool operator==(ColorMultiset, ColorMultiset) = default;
+
+  /// Renders like the paper: "{G,W}"; empty multiset renders as "{}".
+  std::string to_string() const;
+
+ private:
+  static constexpr int shift(Color c) { return 4 * static_cast<int>(c); }
+  std::uint16_t bits_ = 0;
+};
+
+}  // namespace lumi

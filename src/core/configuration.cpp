@@ -1,0 +1,92 @@
+#include "src/core/configuration.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace lumi {
+
+Configuration::Configuration(Grid grid, std::vector<Robot> robots)
+    : grid_(grid), robots_(std::move(robots)) {
+  for (const Robot& r : robots_) {
+    if (!grid_.contains(r.pos)) throw std::invalid_argument("robot placed outside the grid");
+  }
+}
+
+void Configuration::move_robot(int i, Vec to) {
+  Robot& r = robots_.at(static_cast<std::size_t>(i));
+  if (!grid_.contains(to)) throw std::logic_error("move_robot: target outside the grid");
+  if (manhattan(r.pos, to) != 1) throw std::logic_error("move_robot: target not adjacent");
+  r.pos = to;
+}
+
+ColorMultiset Configuration::multiset_at(Vec v) const {
+  ColorMultiset ms;
+  for (const Robot& r : robots_) {
+    if (r.pos == v) ms.add(r.color);
+  }
+  return ms;
+}
+
+CellContent Configuration::cell(Vec v) const {
+  if (!grid_.contains(v)) return CellContent{.wall = true, .robots = {}};
+  return CellContent{.wall = false, .robots = multiset_at(v)};
+}
+
+std::vector<Robot> Configuration::canonical_robots() const {
+  std::vector<Robot> sorted = robots_;
+  std::sort(sorted.begin(), sorted.end(), [](const Robot& a, const Robot& b) {
+    if (a.pos != b.pos) return a.pos < b.pos;
+    return a.color < b.color;
+  });
+  return sorted;
+}
+
+std::uint64_t Configuration::canonical_hash() const {
+  // FNV-1a over the canonical robot listing plus grid dimensions.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(grid_.rows()));
+  mix(static_cast<std::uint64_t>(grid_.cols()));
+  for (const Robot& r : canonical_robots()) {
+    mix(static_cast<std::uint64_t>(grid_.index(r.pos)));
+    mix(static_cast<std::uint64_t>(r.color));
+  }
+  return h;
+}
+
+bool Configuration::same_placement(const Configuration& other) const {
+  return grid_ == other.grid_ && canonical_robots() == other.canonical_robots();
+}
+
+std::string Configuration::to_string() const {
+  std::map<std::pair<int, int>, ColorMultiset> by_node;
+  for (const Robot& r : robots_) {
+    auto [it, inserted] = by_node.try_emplace({r.pos.row, r.pos.col});
+    it->second.add(r.color);
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [node, ms] : by_node) {
+    if (!first) out += ", ";
+    first = false;
+    out += "(" + std::to_string(node.first) + "," + std::to_string(node.second) + "):" +
+           ms.to_string();
+  }
+  out += "}";
+  return out;
+}
+
+Configuration make_configuration(
+    Grid grid, const std::vector<std::pair<Vec, std::vector<Color>>>& placements) {
+  std::vector<Robot> robots;
+  for (const auto& [pos, colors] : placements) {
+    for (Color c : colors) robots.push_back(Robot{pos, c});
+  }
+  return Configuration(grid, std::move(robots));
+}
+
+}  // namespace lumi

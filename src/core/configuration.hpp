@@ -1,0 +1,72 @@
+// Configurations: positions and light colors of all robots on a grid.
+//
+// Robots are anonymous in the model, but the simulator tracks them by index
+// so that the ASYNC engine can attribute pending phases.  Canonical listing /
+// hashing treat robots as interchangeable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/color.hpp"
+#include "src/core/grid.hpp"
+
+namespace lumi {
+
+struct Robot {
+  Vec pos;
+  Color color;
+
+  friend bool operator==(const Robot&, const Robot&) = default;
+};
+
+/// Wall-or-multiset content of one grid cell as seen in a view.
+struct CellContent {
+  bool wall = false;
+  ColorMultiset robots;
+
+  friend bool operator==(const CellContent&, const CellContent&) = default;
+};
+
+class Configuration {
+ public:
+  Configuration(Grid grid, std::vector<Robot> robots);
+
+  const Grid& grid() const { return grid_; }
+  int num_robots() const { return static_cast<int>(robots_.size()); }
+  const Robot& robot(int i) const { return robots_.at(static_cast<std::size_t>(i)); }
+  const std::vector<Robot>& robots() const { return robots_; }
+
+  void set_color(int i, Color c) { robots_.at(static_cast<std::size_t>(i)).color = c; }
+  /// Moves robot `i` to `to`; throws std::logic_error if `to` is off-grid or
+  /// not adjacent to the robot's current node (robots move along edges).
+  void move_robot(int i, Vec to);
+
+  /// Multiset of colors on node v (empty when unoccupied).
+  ColorMultiset multiset_at(Vec v) const;
+  /// Cell content including walls for off-grid v.
+  CellContent cell(Vec v) const;
+  bool occupied(Vec v) const { return !multiset_at(v).empty(); }
+
+  /// Robots sorted by (pos, color): configurations that are equal as
+  /// multisets of (position, color) pairs produce identical listings.
+  std::vector<Robot> canonical_robots() const;
+  std::uint64_t canonical_hash() const;
+  /// True when both configurations describe the same anonymous placement.
+  bool same_placement(const Configuration& other) const;
+
+  /// Paper-style rendering: "{(0,0):{G}, (0,1):{W}}" sorted by node.
+  std::string to_string() const;
+
+ private:
+  Grid grid_;
+  std::vector<Robot> robots_;
+};
+
+/// Convenience: builds a configuration from (node, colors...) placements.
+Configuration make_configuration(
+    Grid grid, const std::vector<std::pair<Vec, std::vector<Color>>>& placements);
+
+}  // namespace lumi

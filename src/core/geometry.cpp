@@ -1,0 +1,26 @@
+#include "src/core/geometry.hpp"
+
+namespace lumi {
+
+std::string to_string(Dir d) {
+  switch (d) {
+    case Dir::North: return "N";
+    case Dir::East: return "E";
+    case Dir::South: return "S";
+    case Dir::West: return "W";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::array<Sym, 4> kRotations = {
+    Sym{0, false}, Sym{1, false}, Sym{2, false}, Sym{3, false}};
+constexpr std::array<Sym, 8> kAllSyms = {
+    Sym{0, false}, Sym{1, false}, Sym{2, false}, Sym{3, false},
+    Sym{0, true},  Sym{1, true},  Sym{2, true},  Sym{3, true}};
+}  // namespace
+
+std::span<const Sym> rotations() { return kRotations; }
+std::span<const Sym> all_symmetries() { return kAllSyms; }
+
+}  // namespace lumi

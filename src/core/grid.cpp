@@ -1,0 +1,3 @@
+#include "src/core/grid.hpp"
+
+// Header-only for now; this translation unit anchors the type for the build.

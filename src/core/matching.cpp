@@ -1,0 +1,62 @@
+#include "src/core/matching.hpp"
+
+namespace lumi {
+
+bool guard_matches(const Rule& rule, const Snapshot& snap, Sym sym) {
+  if (rule.self != snap.self_color) return false;
+  const ViewKernel& kernel = ViewKernel::get(snap.phi);
+  // Every kernel cell is constrained: explicitly listed cells by their
+  // pattern, all others by the implicit gray (no robot there).
+  for (Vec offset : kernel.offsets()) {
+    const CellPattern pattern = rule.pattern_at(offset);
+    const int world_index = kernel.index_of(apply(sym, offset));
+    const CellContent& cell = snap.cells[static_cast<std::size_t>(world_index)];
+    if (!pattern.matches(cell)) return false;
+  }
+  // Guard cells outside the kernel would be caught by Algorithm::validate().
+  return true;
+}
+
+std::vector<Action> enabled_actions(const Algorithm& alg, const Snapshot& snap) {
+  std::vector<Action> out;
+  for (std::size_t ri = 0; ri < alg.rules.size(); ++ri) {
+    const Rule& rule = alg.rules[ri];
+    if (rule.self != snap.self_color) continue;
+    for (Sym sym : alg.symmetries()) {
+      if (!guard_matches(rule, snap, sym)) continue;
+      Action act;
+      act.new_color = rule.new_color;
+      act.move = rule.move.has_value() ? std::optional<Dir>(apply(sym, *rule.move))
+                                       : std::nullopt;
+      act.rule_index = static_cast<int>(ri);
+      act.sym = sym;
+      bool duplicate = false;
+      for (const Action& existing : out) {
+        if (existing.same_behavior(act)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) out.push_back(act);
+    }
+  }
+  return out;
+}
+
+std::vector<Action> enabled_actions(const Algorithm& alg, const Configuration& config,
+                                    int robot) {
+  return enabled_actions(alg, take_snapshot(config, robot, alg.phi));
+}
+
+bool is_enabled(const Algorithm& alg, const Configuration& config, int robot) {
+  return !enabled_actions(alg, config, robot).empty();
+}
+
+bool is_terminal(const Algorithm& alg, const Configuration& config) {
+  for (int i = 0; i < config.num_robots(); ++i) {
+    if (is_enabled(alg, config, i)) return false;
+  }
+  return true;
+}
+
+}  // namespace lumi

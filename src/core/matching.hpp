@@ -1,0 +1,49 @@
+// Rule matching: which rules a robot can execute, under which symmetries.
+//
+// A robot observes its snapshot in an unknown local frame.  With common
+// chirality the frame is one of 4 rotations of the global frame; without, it
+// is one of 8 rotations/reflections.  A rule is enabled if the snapshot read
+// through some admissible symmetry matches the guard; the resulting action
+// carries the movement mapped back into the global frame.  When several
+// (view, rule) combinations match, the scheduler picks one (Section 2.2 of
+// the paper) — callers receive all distinct behaviors.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/core/algorithm.hpp"
+#include "src/core/view.hpp"
+
+namespace lumi {
+
+/// A concrete action a robot may take, expressed in the global frame.
+struct Action {
+  Color new_color = Color::G;
+  std::optional<Dir> move;  ///< global frame; nullopt = stay
+  int rule_index = -1;      ///< index into Algorithm::rules
+  Sym sym;                  ///< symmetry the guard matched under
+
+  /// Two actions are behaviorally identical when they recolor and move the
+  /// robot the same way, regardless of which rule/symmetry produced them.
+  bool same_behavior(const Action& other) const {
+    return new_color == other.new_color && move == other.move;
+  }
+};
+
+/// True if the snapshot matches `rule` through symmetry `sym`.
+bool guard_matches(const Rule& rule, const Snapshot& snap, Sym sym);
+
+/// All behaviorally distinct actions enabled for the snapshot (at most one
+/// per (new_color, move) pair; `rule_index`/`sym` identify one witness).
+std::vector<Action> enabled_actions(const Algorithm& alg, const Snapshot& snap);
+
+/// Convenience overload snapshotting the live configuration.
+std::vector<Action> enabled_actions(const Algorithm& alg, const Configuration& config, int robot);
+
+bool is_enabled(const Algorithm& alg, const Configuration& config, int robot);
+
+/// True when no robot is enabled (a terminal configuration for FSYNC/SSYNC).
+bool is_terminal(const Algorithm& alg, const Configuration& config);
+
+}  // namespace lumi

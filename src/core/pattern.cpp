@@ -1,0 +1,16 @@
+#include "src/core/pattern.hpp"
+
+namespace lumi {
+
+std::string CellPattern::to_string() const {
+  switch (kind_) {
+    case Kind::EmptyOrWall: return "gray";
+    case Kind::Empty: return "empty";
+    case Kind::Wall: return "wall";
+    case Kind::Multiset: return ms_.to_string();
+    case Kind::Any: return "any";
+  }
+  return "?";
+}
+
+}  // namespace lumi

@@ -1,0 +1,59 @@
+// Guard cell patterns, following the paper's figure conventions:
+//   explicit multiset  -> the cell hosts exactly that multiset of colors,
+//   white (Empty)      -> the node exists and hosts no robot,
+//   black (Wall)       -> the node does not exist (outside the grid),
+//   gray  (EmptyOrWall)-> either of the two above; never hosts a robot.
+// `Any` is an extension for user-defined algorithms (matches anything) and is
+// not used by the fourteen paper reproductions.
+#pragma once
+
+#include <string>
+
+#include "src/core/configuration.hpp"
+
+namespace lumi {
+
+class CellPattern {
+ public:
+  enum class Kind : std::uint8_t { EmptyOrWall, Empty, Wall, Multiset, Any };
+
+  constexpr CellPattern() = default;  // gray
+
+  static CellPattern gray() { return CellPattern(Kind::EmptyOrWall, {}); }
+  static CellPattern empty() { return CellPattern(Kind::Empty, {}); }
+  static CellPattern wall() { return CellPattern(Kind::Wall, {}); }
+  static CellPattern any() { return CellPattern(Kind::Any, {}); }
+  static CellPattern exactly(ColorMultiset ms) { return CellPattern(Kind::Multiset, ms); }
+
+  Kind kind() const { return kind_; }
+  const ColorMultiset& multiset() const { return ms_; }
+
+  bool matches(const CellContent& cell) const {
+    switch (kind_) {
+      case Kind::EmptyOrWall: return cell.wall || cell.robots.empty();
+      case Kind::Empty: return !cell.wall && cell.robots.empty();
+      case Kind::Wall: return cell.wall;
+      case Kind::Multiset: return !cell.wall && cell.robots == ms_;
+      case Kind::Any: return true;
+    }
+    return false;
+  }
+
+  /// True when a robot moving onto this cell is statically safe (the pattern
+  /// can only match an existing node).
+  bool guarantees_node_exists() const {
+    return kind_ == Kind::Empty || kind_ == Kind::Multiset;
+  }
+
+  friend bool operator==(const CellPattern&, const CellPattern&) = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr CellPattern(Kind kind, ColorMultiset ms) : kind_(kind), ms_(ms) {}
+
+  Kind kind_ = Kind::EmptyOrWall;
+  ColorMultiset ms_;
+};
+
+}  // namespace lumi

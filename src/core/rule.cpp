@@ -1,0 +1,112 @@
+#include "src/core/rule.hpp"
+
+#include <stdexcept>
+
+namespace lumi {
+
+Vec offset_from_name(const std::string& name) {
+  if (name == "C") return {0, 0};
+  if (name == "N") return {-1, 0};
+  if (name == "E") return {0, 1};
+  if (name == "S") return {1, 0};
+  if (name == "W") return {0, -1};
+  if (name == "NN") return {-2, 0};
+  if (name == "EE") return {0, 2};
+  if (name == "SS") return {2, 0};
+  if (name == "WW") return {0, -2};
+  if (name == "NE") return {-1, 1};
+  if (name == "SE") return {1, 1};
+  if (name == "SW") return {1, -1};
+  if (name == "NW") return {-1, -1};
+  throw std::invalid_argument("unknown view offset name: " + name);
+}
+
+std::string offset_name(Vec offset) {
+  std::string out;
+  for (int i = 0; i < -offset.row; ++i) out += 'N';
+  for (int i = 0; i < offset.row; ++i) out += 'S';
+  std::string ew;
+  for (int i = 0; i < -offset.col; ++i) ew += 'W';
+  for (int i = 0; i < offset.col; ++i) ew += 'E';
+  // Diagonals are named row-part first: NE, SW, ...
+  out += ew;
+  if (out.empty()) out = "C";
+  return out;
+}
+
+CellPattern Rule::pattern_at(Vec offset) const {
+  for (const auto& [o, p] : cells) {
+    if (o == offset) return p;
+  }
+  return CellPattern::gray();
+}
+
+std::string Rule::to_string() const {
+  std::string out = label + ": self=" + lumi::to_string(self);
+  for (const auto& [o, p] : cells) out += " " + offset_name(o) + "=" + p.to_string();
+  out += " -> " + lumi::to_string(new_color) + ",";
+  out += move.has_value() ? lumi::to_string(*move) : std::string("Idle");
+  return out;
+}
+
+RuleBuilder::RuleBuilder(std::string label, Color self) {
+  rule_.label = std::move(label);
+  rule_.self = self;
+  rule_.new_color = self;
+}
+
+RuleBuilder& RuleBuilder::cell(const std::string& offset, CellPattern pattern) {
+  const Vec o = offset_from_name(offset);
+  if (o == Vec{0, 0}) throw std::invalid_argument("use center(...) for the center cell");
+  for (const auto& [existing, p] : rule_.cells) {
+    if (existing == o) throw std::invalid_argument(rule_.label + ": duplicate guard cell " + offset);
+  }
+  rule_.cells.emplace_back(o, pattern);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::cell(const std::string& offset, std::initializer_list<Color> multiset) {
+  return cell(offset, CellPattern::exactly(ColorMultiset(multiset)));
+}
+
+RuleBuilder& RuleBuilder::center(std::initializer_list<Color> multiset) {
+  ColorMultiset ms(multiset);
+  if (ms.count(rule_.self) == 0) {
+    throw std::invalid_argument(rule_.label + ": center multiset must contain the robot itself");
+  }
+  for (const auto& [existing, p] : rule_.cells) {
+    if (existing == Vec{0, 0}) throw std::invalid_argument(rule_.label + ": duplicate center");
+  }
+  rule_.cells.emplace_back(Vec{0, 0}, CellPattern::exactly(ms));
+  center_set_ = true;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::becomes(Color new_color) {
+  rule_.new_color = new_color;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::moves(Dir guard_frame_dir) {
+  if (action_set_) throw std::invalid_argument(rule_.label + ": movement already set");
+  rule_.move = guard_frame_dir;
+  action_set_ = true;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::idle() {
+  if (action_set_) throw std::invalid_argument(rule_.label + ": movement already set");
+  rule_.move = std::nullopt;
+  action_set_ = true;
+  return *this;
+}
+
+Rule RuleBuilder::build() const {
+  Rule out = rule_;
+  if (!center_set_) {
+    out.cells.emplace_back(Vec{0, 0}, CellPattern::exactly(ColorMultiset{out.self}));
+  }
+  return out;
+}
+
+}  // namespace lumi

@@ -1,0 +1,69 @@
+// Rules: (label, guard, action) triples, as in the paper's Section 2.4.
+//
+// A guard constrains the cells of the robot's view in the *guard frame*; the
+// rule fires if the view matches under some admissible symmetry, and the
+// action's movement is interpreted through that same symmetry.  Guard cells
+// not listed explicitly default to gray (no robot there, wall or empty) —
+// this mirrors the paper's diagrams, where every drawn cell is constrained.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/geometry.hpp"
+#include "src/core/pattern.hpp"
+
+namespace lumi {
+
+/// Symbolic names for view offsets in the guard frame: "C", "N", "E", "S",
+/// "W", "NN", "EE", "SS", "WW", "NE", "SE", "SW", "NW".
+Vec offset_from_name(const std::string& name);
+std::string offset_name(Vec offset);
+
+struct Rule {
+  std::string label;                ///< e.g. "R1"
+  Color self = Color::G;            ///< color required of the acting robot
+  Color new_color = Color::G;       ///< light color after the Compute phase
+  std::optional<Dir> move;          ///< guard-frame movement; nullopt = Idle
+  std::vector<std::pair<Vec, CellPattern>> cells;  ///< sparse guard
+
+  /// Pattern for `offset`; gray when unspecified.  The center cell (0,0)
+  /// pattern is matched against the full multiset on the robot's own node
+  /// (which includes the robot itself).
+  CellPattern pattern_at(Vec offset) const;
+
+  std::string to_string() const;
+};
+
+/// Fluent builder used by the algorithm definitions.
+///
+///   Rule r = RuleBuilder("R1", Color::W)
+///                .cell("W", {Color::G})
+///                .cell("E", CellPattern::empty())
+///                .moves(Dir::East)
+///                .build();
+///
+/// The center pattern defaults to exactly {self}; use `center(...)` for
+/// rules about stacked robots (the multiset must still contain `self`).
+class RuleBuilder {
+ public:
+  RuleBuilder(std::string label, Color self);
+
+  RuleBuilder& cell(const std::string& offset, CellPattern pattern);
+  RuleBuilder& cell(const std::string& offset, std::initializer_list<Color> multiset);
+  RuleBuilder& center(std::initializer_list<Color> multiset);
+  RuleBuilder& becomes(Color new_color);
+  RuleBuilder& moves(Dir guard_frame_dir);
+  RuleBuilder& idle();
+
+  Rule build() const;
+
+ private:
+  Rule rule_;
+  bool center_set_ = false;
+  bool action_set_ = false;
+};
+
+}  // namespace lumi

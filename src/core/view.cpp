@@ -1,0 +1,49 @@
+#include "src/core/view.hpp"
+
+#include <stdexcept>
+
+namespace lumi {
+
+ViewKernel::ViewKernel(int phi) : phi_(phi) {
+  if (phi < 1 || phi > kMaxPhi) throw std::invalid_argument("ViewKernel: phi must be 1 or 2");
+  for (int dr = -phi; dr <= phi; ++dr) {
+    for (int dc = -phi; dc <= phi; ++dc) {
+      if (std::abs(dr) + std::abs(dc) <= phi) offsets_.push_back(Vec{dr, dc});
+    }
+  }
+}
+
+int ViewKernel::index_of(Vec offset) const {
+  for (int i = 0; i < size(); ++i) {
+    if (offsets_[static_cast<std::size_t>(i)] == offset) return i;
+  }
+  return -1;
+}
+
+const ViewKernel& ViewKernel::get(int phi) {
+  static const ViewKernel kernel1(1);
+  static const ViewKernel kernel2(2);
+  if (phi == 1) return kernel1;
+  if (phi == 2) return kernel2;
+  throw std::invalid_argument("ViewKernel::get: phi must be 1 or 2");
+}
+
+const CellContent& Snapshot::at(Vec offset) const {
+  const int idx = ViewKernel::get(phi).index_of(offset);
+  if (idx < 0) throw std::out_of_range("Snapshot::at: offset outside view kernel");
+  return cells[static_cast<std::size_t>(idx)];
+}
+
+Snapshot take_snapshot(const Configuration& config, int robot, int phi) {
+  const ViewKernel& kernel = ViewKernel::get(phi);
+  const Robot& r = config.robot(robot);
+  Snapshot snap;
+  snap.origin = r.pos;
+  snap.self_color = r.color;
+  snap.phi = phi;
+  snap.cells.reserve(static_cast<std::size_t>(kernel.size()));
+  for (Vec offset : kernel.offsets()) snap.cells.push_back(config.cell(r.pos + offset));
+  return snap;
+}
+
+}  // namespace lumi

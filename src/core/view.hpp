@@ -1,0 +1,52 @@
+// Views (snapshots): what a myopic robot observes during its Look phase.
+//
+// A snapshot stores, in the *global* frame, the content of every cell within
+// Manhattan distance phi of the robot.  Rule matching later re-reads the
+// snapshot through candidate symmetries, which models the robot not knowing
+// which of the 4 (or 8) possible local frames its view is expressed in.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/core/configuration.hpp"
+#include "src/core/geometry.hpp"
+
+namespace lumi {
+
+inline constexpr int kMaxPhi = 2;
+
+/// Canonical, symmetric set of offsets at Manhattan distance <= phi,
+/// row-major sorted.  phi=1 -> 5 cells, phi=2 -> 13 cells.
+class ViewKernel {
+ public:
+  explicit ViewKernel(int phi);
+
+  int phi() const { return phi_; }
+  std::span<const Vec> offsets() const { return offsets_; }
+  int size() const { return static_cast<int>(offsets_.size()); }
+  /// Index of `offset` in offsets(); -1 when outside the kernel.
+  int index_of(Vec offset) const;
+
+  /// Shared immutable kernels (phi in {1, 2}).
+  static const ViewKernel& get(int phi);
+
+ private:
+  int phi_;
+  std::vector<Vec> offsets_;
+};
+
+/// Immutable snapshot around one robot, taken in the global frame.
+struct Snapshot {
+  Vec origin;                       ///< robot position when the Look happened
+  Color self_color = Color::G;     ///< robot's own light at Look time
+  int phi = 1;
+  std::vector<CellContent> cells;  ///< kernel order for ViewKernel::get(phi)
+
+  /// Content at `offset` from origin (kernel coordinates, global frame).
+  const CellContent& at(Vec offset) const;
+};
+
+Snapshot take_snapshot(const Configuration& config, int robot, int phi);
+
+}  // namespace lumi

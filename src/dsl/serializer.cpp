@@ -1,0 +1,74 @@
+#include "src/dsl/dsl.hpp"
+
+namespace lumi::dsl {
+
+namespace {
+
+std::string pattern_text(const CellPattern& p) {
+  switch (p.kind()) {
+    case CellPattern::Kind::Empty: return "empty";
+    case CellPattern::Kind::Wall: return "wall";
+    case CellPattern::Kind::EmptyOrWall: return "gray";
+    case CellPattern::Kind::Any: return "any";
+    case CellPattern::Kind::Multiset: {
+      std::string out = "{";
+      bool first = true;
+      for (int i = 0; i < kMaxColors; ++i) {
+        const Color c = static_cast<Color>(i);
+        for (int n = 0; n < p.multiset().count(c); ++n) {
+          if (!first) out += ',';
+          out += color_letter(c);
+          first = false;
+        }
+      }
+      return out + "}";
+    }
+  }
+  return "gray";
+}
+
+}  // namespace
+
+std::string serialize(const Algorithm& alg) {
+  std::string out;
+  out += "algorithm " + alg.name + "\n";
+  if (!alg.paper_section.empty()) out += "section " + alg.paper_section + "\n";
+  out += "model ";
+  switch (alg.model) {
+    case Synchrony::Fsync: out += "fsync"; break;
+    case Synchrony::Ssync: out += "ssync"; break;
+    case Synchrony::Async: out += "async"; break;
+  }
+  out += "\n";
+  out += "phi " + std::to_string(alg.phi) + "\n";
+  out += "colors " + std::to_string(alg.num_colors) + "\n";
+  out += std::string("chirality ") + (alg.chirality == Chirality::Common ? "common" : "none") +
+         "\n";
+  out += "min-grid " + std::to_string(alg.min_rows) + " " + std::to_string(alg.min_cols) + "\n";
+  out += "init";
+  for (const auto& [pos, color] : alg.initial_robots) {
+    out += " (" + std::to_string(pos.row) + "," + std::to_string(pos.col) + ")=" +
+           color_letter(color);
+  }
+  out += "\n";
+  for (const Rule& rule : alg.rules) {
+    out += "rule " + rule.label + " self=" + color_letter(rule.self);
+    // Emit the center first (when not the default singleton), then cells in
+    // the order they were declared.
+    for (const auto& [offset, pattern] : rule.cells) {
+      if (offset == Vec{0, 0}) {
+        const ColorMultiset self_only{rule.self};
+        if (pattern == CellPattern::exactly(self_only)) continue;  // default center
+      }
+      out += " " + offset_name(offset) + "=" + pattern_text(pattern);
+    }
+    out += " -> ";
+    out += color_letter(rule.new_color);
+    out += ",";
+    out += rule.move.has_value() ? to_string(*rule.move) : std::string("Idle");
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lumi::dsl

@@ -1,0 +1,74 @@
+#include "src/engine/async_engine.hpp"
+
+#include <stdexcept>
+
+namespace lumi {
+
+AsyncEngine::AsyncEngine(const Algorithm& alg, Configuration initial)
+    : alg_(&alg),
+      config_(std::move(initial)),
+      phases_(static_cast<std::size_t>(config_.num_robots()), Phase::Idle),
+      pending_(static_cast<std::size_t>(config_.num_robots())) {}
+
+const Action& AsyncEngine::pending(int robot) const {
+  if (phase(robot) == Phase::Idle) throw std::logic_error("pending: robot has no pending action");
+  return pending_.at(static_cast<std::size_t>(robot));
+}
+
+std::vector<int> AsyncEngine::effective_robots() const {
+  std::vector<int> out;
+  for (int i = 0; i < config_.num_robots(); ++i) {
+    if (phase(i) != Phase::Idle || is_enabled(*alg_, config_, i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<Action> AsyncEngine::look_choices(int robot) const {
+  if (phase(robot) != Phase::Idle) throw std::logic_error("look_choices: robot mid-cycle");
+  return enabled_actions(*alg_, config_, robot);
+}
+
+void AsyncEngine::activate(int robot, std::optional<Action> chosen) {
+  auto& phase = phases_.at(static_cast<std::size_t>(robot));
+  switch (phase) {
+    case Phase::Idle: {
+      const std::vector<Action> choices = look_choices(robot);
+      if (choices.empty()) return;  // vacuous cycle, unobservable
+      Action decision = chosen.value_or(choices.front());
+      bool valid = false;
+      for (const Action& c : choices) valid = valid || c.same_behavior(decision);
+      if (!valid) throw std::logic_error("activate: chosen action is not enabled");
+      pending_[static_cast<std::size_t>(robot)] = decision;
+      phase = Phase::Decided;
+      return;
+    }
+    case Phase::Decided: {
+      if (chosen.has_value()) throw std::logic_error("activate: choice only valid at Look");
+      config_.set_color(robot, pending_[static_cast<std::size_t>(robot)].new_color);
+      phase = Phase::Colored;
+      return;
+    }
+    case Phase::Colored: {
+      if (chosen.has_value()) throw std::logic_error("activate: choice only valid at Look");
+      const Action& act = pending_[static_cast<std::size_t>(robot)];
+      if (act.move.has_value()) {
+        const Vec to = config_.robot(robot).pos + dir_vec(*act.move);
+        if (!config_.grid().contains(to)) {
+          throw std::logic_error("AsyncEngine: robot would leave the grid");
+        }
+        config_.move_robot(robot, to);
+      }
+      phase = Phase::Idle;
+      return;
+    }
+  }
+}
+
+bool AsyncEngine::terminal() const {
+  for (int i = 0; i < config_.num_robots(); ++i) {
+    if (phase(i) != Phase::Idle) return false;
+  }
+  return is_terminal(*alg_, config_);
+}
+
+}  // namespace lumi

@@ -1,0 +1,127 @@
+#include "src/engine/runner.hpp"
+
+#include <stdexcept>
+
+namespace lumi {
+
+namespace {
+
+void mark_visited(std::vector<bool>& visited, const Grid& grid, const Configuration& config) {
+  for (const Robot& r : config.robots()) visited[static_cast<std::size_t>(grid.index(r.pos))] = true;
+}
+
+bool all_visited(const std::vector<bool>& visited) {
+  for (bool v : visited) {
+    if (!v) return false;
+  }
+  return true;
+}
+
+std::string describe(const Algorithm& alg, const RobotAction& ra) {
+  const Rule& rule = alg.rules.at(static_cast<std::size_t>(ra.action.rule_index));
+  std::string note = rule.label + " by robot " + std::to_string(ra.robot);
+  if (ra.action.move.has_value()) note += " move " + to_string(*ra.action.move);
+  if (rule.new_color != rule.self) note += " color->" + to_string(rule.new_color);
+  return note;
+}
+
+}  // namespace
+
+RunResult run_sync(const Algorithm& alg, const Grid& grid, SyncScheduler& sched,
+                   const RunOptions& opts) {
+  Configuration config = alg.initial_configuration(grid);
+  RunResult result;
+  result.visited.assign(static_cast<std::size_t>(grid.num_nodes()), false);
+  mark_visited(result.visited, grid, config);
+  if (opts.record_trace) result.trace.push(config, "initial");
+
+  for (long step = 0; step < opts.max_steps; ++step) {
+    const auto enabled = all_enabled_actions(alg, config);
+    bool any_enabled = false;
+    for (const auto& actions : enabled) {
+      any_enabled = any_enabled || !actions.empty();
+      if (opts.require_unique_actions && actions.size() > 1) {
+        result.failure = "robot has multiple distinct enabled behaviors at instant " +
+                         std::to_string(step) + " in " + config.to_string();
+        return result;
+      }
+    }
+    if (!any_enabled) {
+      result.terminated = true;
+      result.explored_all = all_visited(result.visited);
+      return result;
+    }
+    const std::vector<RobotAction> selected = sched.select(config, enabled);
+    if (selected.empty()) {
+      result.failure = "scheduler returned an empty selection";
+      return result;
+    }
+    std::string note;
+    for (const RobotAction& ra : selected) {
+      result.stats.activations += 1;
+      if (ra.action.move.has_value()) result.stats.moves += 1;
+      if (ra.action.new_color != config.robot(ra.robot).color) result.stats.color_changes += 1;
+      if (!note.empty()) note += "; ";
+      note += describe(alg, ra);
+    }
+    apply_sync_step(config, selected);
+    result.stats.instants += 1;
+    mark_visited(result.visited, grid, config);
+    if (opts.record_trace) result.trace.push(config, note);
+  }
+  result.failure = "step budget exhausted (" + std::to_string(opts.max_steps) + " instants)";
+  return result;
+}
+
+RunResult run_async(const Algorithm& alg, const Grid& grid, AsyncScheduler& sched,
+                    const RunOptions& opts) {
+  AsyncEngine engine(alg, alg.initial_configuration(grid));
+  RunResult result;
+  result.visited.assign(static_cast<std::size_t>(grid.num_nodes()), false);
+  mark_visited(result.visited, grid, engine.config());
+  if (opts.record_trace) result.trace.push(engine.config(), "initial");
+
+  for (long event = 0; event < opts.max_steps; ++event) {
+    const std::vector<int> effective = engine.effective_robots();
+    if (effective.empty()) {
+      result.terminated = true;
+      result.explored_all = all_visited(result.visited);
+      return result;
+    }
+    const int robot = sched.pick_robot(engine, effective);
+    const Phase before = engine.phase(robot);
+    std::string note;
+    if (before == Phase::Idle) {
+      const std::vector<Action> choices = engine.look_choices(robot);
+      if (choices.empty()) {
+        // The scheduler picked a robot that became disabled; vacuous cycle.
+        continue;
+      }
+      Action decision = choices.size() == 1 ? choices.front()
+                                            : sched.pick_action(engine, robot, choices);
+      result.stats.activations += 1;
+      if (decision.new_color != engine.config().robot(robot).color) {
+        result.stats.color_changes += 1;
+      }
+      if (decision.move.has_value()) result.stats.moves += 1;
+      note = "Look: " + describe(alg, RobotAction{robot, decision});
+      engine.activate(robot, decision);
+    } else {
+      note = (before == Phase::Decided ? "Compute-end: robot " : "Move: robot ") +
+             std::to_string(robot);
+      engine.activate(robot);
+    }
+    result.stats.instants += 1;
+    mark_visited(result.visited, grid, engine.config());
+    if (opts.record_trace) result.trace.push(engine.config(), note);
+  }
+  result.failure = "event budget exhausted (" + std::to_string(opts.max_steps) + " events)";
+  return result;
+}
+
+const Configuration& final_configuration(const RunResult& result) {
+  if (result.trace.empty()) throw std::logic_error("final_configuration: trace not recorded");
+  return result.trace[result.trace.size() - 1].config;
+}
+
+}  // namespace lumi

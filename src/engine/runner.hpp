@@ -1,0 +1,57 @@
+// Execution driver: runs an algorithm on a grid under a scheduler, tracking
+// node coverage, termination, statistics and (optionally) the full trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/algorithm.hpp"
+#include "src/sched/async_schedulers.hpp"
+#include "src/sched/sync_schedulers.hpp"
+#include "src/trace/trace.hpp"
+
+namespace lumi {
+
+struct RunOptions {
+  long max_steps = 1'000'000;        ///< instants (sync) or events (async)
+  bool record_trace = false;
+  /// FSYNC determinism check: fail if any robot ever has two distinct
+  /// enabled behaviors (the paper's algorithms are deterministic).
+  bool require_unique_actions = false;
+};
+
+struct RunStats {
+  long instants = 0;       ///< sync instants or async phase events
+  long activations = 0;    ///< robot cycles started
+  long moves = 0;
+  long color_changes = 0;  ///< cycles whose new color differs from the old
+};
+
+struct RunResult {
+  bool terminated = false;
+  bool explored_all = false;
+  RunStats stats;
+  std::vector<bool> visited;  ///< per grid node index
+  std::string failure;        ///< nonempty on budget exhaustion / violations
+  Trace trace;
+
+  bool ok() const { return terminated && explored_all && failure.empty(); }
+  int visited_count() const {
+    int n = 0;
+    for (bool v : visited) n += v ? 1 : 0;
+    return n;
+  }
+};
+
+/// Runs under FSYNC/SSYNC semantics (full atomic cycles per instant).
+RunResult run_sync(const Algorithm& alg, const Grid& grid, SyncScheduler& sched,
+                   const RunOptions& opts = {});
+
+/// Runs under ASYNC semantics (interleaved Look/Compute/Move events).
+RunResult run_async(const Algorithm& alg, const Grid& grid, AsyncScheduler& sched,
+                    const RunOptions& opts = {});
+
+/// Final configuration of a recorded trace (requires record_trace).
+const Configuration& final_configuration(const RunResult& result);
+
+}  // namespace lumi

@@ -1,0 +1,45 @@
+#include "src/engine/sync_engine.hpp"
+
+#include <stdexcept>
+
+namespace lumi {
+
+void apply_sync_step(Configuration& config, std::span<const RobotAction> actions) {
+  // Compute all targets first so each movement is relative to the
+  // configuration at the beginning of the instant.
+  struct Update {
+    int robot;
+    Color color;
+    Vec from;
+    bool moved;
+    Vec to;
+  };
+  std::vector<Update> updates;
+  updates.reserve(actions.size());
+  for (const RobotAction& ra : actions) {
+    const Robot& r = config.robot(ra.robot);
+    Update u{ra.robot, ra.action.new_color, r.pos, false, r.pos};
+    if (ra.action.move.has_value()) {
+      u.moved = true;
+      u.to = r.pos + dir_vec(*ra.action.move);
+      if (!config.grid().contains(u.to)) {
+        throw std::logic_error("apply_sync_step: robot would leave the grid");
+      }
+    }
+    updates.push_back(u);
+  }
+  for (const Update& u : updates) {
+    config.set_color(u.robot, u.color);
+    if (u.moved) config.move_robot(u.robot, u.to);
+  }
+}
+
+std::vector<std::vector<Action>> all_enabled_actions(const Algorithm& alg,
+                                                     const Configuration& config) {
+  std::vector<std::vector<Action>> out;
+  out.reserve(static_cast<std::size_t>(config.num_robots()));
+  for (int i = 0; i < config.num_robots(); ++i) out.push_back(enabled_actions(alg, config, i));
+  return out;
+}
+
+}  // namespace lumi

@@ -1,0 +1,29 @@
+// Synchronous step semantics shared by FSYNC and SSYNC: all activated robots
+// execute a full Look-Compute-Move cycle atomically and concurrently within
+// one instant.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/core/matching.hpp"
+
+namespace lumi {
+
+struct RobotAction {
+  int robot = -1;
+  Action action;
+};
+
+/// Applies one synchronous instant: every listed robot simultaneously takes
+/// its color and (optional) movement.  Movements are computed from the
+/// configuration at the start of the instant, so robots may swap, follow one
+/// another, or land on a common node.  Throws std::logic_error on an attempt
+/// to move outside the grid (guards are supposed to prevent this).
+void apply_sync_step(Configuration& config, std::span<const RobotAction> actions);
+
+/// Distinct enabled behaviors for every robot (empty vector = disabled).
+std::vector<std::vector<Action>> all_enabled_actions(const Algorithm& alg,
+                                                     const Configuration& config);
+
+}  // namespace lumi

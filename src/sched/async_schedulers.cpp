@@ -1,0 +1,65 @@
+#include "src/sched/async_schedulers.hpp"
+
+namespace lumi {
+
+namespace {
+Action random_action(std::mt19937& rng, const std::vector<Action>& choices) {
+  std::uniform_int_distribution<std::size_t> dist(0, choices.size() - 1);
+  return choices[dist(rng)];
+}
+}  // namespace
+
+AsyncRandomScheduler::AsyncRandomScheduler(unsigned seed) : rng_(seed) {}
+
+int AsyncRandomScheduler::pick_robot(const AsyncEngine&, const std::vector<int>& effective) {
+  std::uniform_int_distribution<std::size_t> dist(0, effective.size() - 1);
+  return effective[dist(rng_)];
+}
+
+Action AsyncRandomScheduler::pick_action(const AsyncEngine&, int,
+                                         const std::vector<Action>& choices) {
+  return random_action(rng_, choices);
+}
+
+int AsyncCentralizedScheduler::pick_robot(const AsyncEngine& engine,
+                                          const std::vector<int>& effective) {
+  for (int robot : effective) {
+    if (engine.phase(robot) != Phase::Idle) return robot;  // finish started cycles first
+  }
+  // All candidates are Idle: rotate for fairness.
+  for (std::size_t i = 0; i < effective.size(); ++i) {
+    if (effective[i] >= next_) {
+      next_ = effective[i] + 1;
+      return effective[i];
+    }
+  }
+  next_ = effective.front() + 1;
+  return effective.front();
+}
+
+Action AsyncCentralizedScheduler::pick_action(const AsyncEngine&, int,
+                                              const std::vector<Action>& choices) {
+  return choices.front();
+}
+
+AsyncStaleStressScheduler::AsyncStaleStressScheduler(unsigned seed) : rng_(seed) {}
+
+int AsyncStaleStressScheduler::pick_robot(const AsyncEngine& engine,
+                                          const std::vector<int>& effective) {
+  // Prefer starting new Looks (accumulating concurrent pending cycles);
+  // among equals pick randomly.
+  std::vector<int> idle;
+  for (int robot : effective) {
+    if (engine.phase(robot) == Phase::Idle) idle.push_back(robot);
+  }
+  const std::vector<int>& pool = idle.empty() ? effective : idle;
+  std::uniform_int_distribution<std::size_t> dist(0, pool.size() - 1);
+  return pool[dist(rng_)];
+}
+
+Action AsyncStaleStressScheduler::pick_action(const AsyncEngine&, int,
+                                              const std::vector<Action>& choices) {
+  return random_action(rng_, choices);
+}
+
+}  // namespace lumi

@@ -1,0 +1,60 @@
+#include "src/sched/sync_schedulers.hpp"
+
+namespace lumi {
+
+namespace {
+Action pick_action(std::mt19937& rng, bool randomize, const std::vector<Action>& actions) {
+  if (!randomize || actions.size() == 1) return actions.front();
+  std::uniform_int_distribution<std::size_t> dist(0, actions.size() - 1);
+  return actions[dist(rng)];
+}
+}  // namespace
+
+FsyncScheduler::FsyncScheduler(unsigned seed, bool randomize_choice)
+    : rng_(seed), randomize_choice_(randomize_choice) {}
+
+std::vector<RobotAction> FsyncScheduler::select(
+    const Configuration&, const std::vector<std::vector<Action>>& enabled) {
+  std::vector<RobotAction> out;
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    if (enabled[i].empty()) continue;
+    out.push_back(RobotAction{static_cast<int>(i),
+                              pick_action(rng_, randomize_choice_, enabled[i])});
+  }
+  return out;
+}
+
+SsyncRandomScheduler::SsyncRandomScheduler(unsigned seed) : rng_(seed) {}
+
+std::vector<RobotAction> SsyncRandomScheduler::select(
+    const Configuration&, const std::vector<std::vector<Action>>& enabled) {
+  std::vector<int> candidates;
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    if (!enabled[i].empty()) candidates.push_back(static_cast<int>(i));
+  }
+  std::vector<RobotAction> out;
+  while (out.empty()) {  // resample until the subset is nonempty
+    for (int robot : candidates) {
+      if (std::uniform_int_distribution<int>(0, 1)(rng_) == 1) {
+        out.push_back(RobotAction{
+            robot, pick_action(rng_, true, enabled[static_cast<std::size_t>(robot)])});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<RobotAction> SsyncRoundRobinScheduler::select(
+    const Configuration&, const std::vector<std::vector<Action>>& enabled) {
+  const int n = static_cast<int>(enabled.size());
+  for (int step = 0; step < n; ++step) {
+    const int robot = (next_ + step) % n;
+    if (!enabled[static_cast<std::size_t>(robot)].empty()) {
+      next_ = (robot + 1) % n;
+      return {RobotAction{robot, enabled[static_cast<std::size_t>(robot)].front()}};
+    }
+  }
+  return {};  // unreachable: caller guarantees someone is enabled
+}
+
+}  // namespace lumi

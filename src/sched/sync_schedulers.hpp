@@ -1,0 +1,68 @@
+// Schedulers for the synchronous models.
+//
+// A scheduler picks, at every instant, which enabled robots execute a full
+// cycle and which of their enabled behaviors each executes (the paper leaves
+// both choices to the scheduler / adversary).
+#pragma once
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "src/engine/sync_engine.hpp"
+
+namespace lumi {
+
+class SyncScheduler {
+ public:
+  virtual ~SyncScheduler() = default;
+  /// `enabled[i]` holds robot i's distinct enabled behaviors (empty when
+  /// disabled).  Must return a nonempty selection of (robot, action) pairs
+  /// with actions drawn from the corresponding `enabled` entries.  Called
+  /// only when at least one robot is enabled.
+  virtual std::vector<RobotAction> select(
+      const Configuration& config, const std::vector<std::vector<Action>>& enabled) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// FSYNC: every enabled robot acts every instant.  Among multiple enabled
+/// behaviors of one robot the first (or a seeded-random one) is taken.
+class FsyncScheduler final : public SyncScheduler {
+ public:
+  explicit FsyncScheduler(unsigned seed = 0, bool randomize_choice = false);
+  std::vector<RobotAction> select(const Configuration&,
+                                  const std::vector<std::vector<Action>>&) override;
+  std::string name() const override { return "fsync"; }
+
+ private:
+  std::mt19937 rng_;
+  bool randomize_choice_;
+};
+
+/// SSYNC: a uniformly random nonempty subset of the enabled robots acts; a
+/// random enabled behavior is chosen for each.  Fair with probability 1.
+class SsyncRandomScheduler final : public SyncScheduler {
+ public:
+  explicit SsyncRandomScheduler(unsigned seed);
+  std::vector<RobotAction> select(const Configuration&,
+                                  const std::vector<std::vector<Action>>&) override;
+  std::string name() const override { return "ssync-random"; }
+
+ private:
+  std::mt19937 rng_;
+};
+
+/// SSYNC: activates exactly one enabled robot per instant, rotating through
+/// robot indices (a maximally sequential fair scheduler).
+class SsyncRoundRobinScheduler final : public SyncScheduler {
+ public:
+  SsyncRoundRobinScheduler() = default;
+  std::vector<RobotAction> select(const Configuration&,
+                                  const std::vector<std::vector<Action>>&) override;
+  std::string name() const override { return "ssync-round-robin"; }
+
+ private:
+  int next_ = 0;
+};
+
+}  // namespace lumi

@@ -1,0 +1,71 @@
+#include "src/trace/ascii_render.hpp"
+
+#include <algorithm>
+
+namespace lumi {
+
+std::string render(const Configuration& config) {
+  const Grid& grid = config.grid();
+  // Cell width: widest multiset in this configuration.
+  int width = 1;
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      width = std::max(width, config.multiset_at({r, c}).size());
+    }
+  }
+  std::string out;
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      const ColorMultiset ms = config.multiset_at({r, c});
+      std::string cell;
+      for (int i = 0; i < kMaxColors; ++i) {
+        const Color col = static_cast<Color>(i);
+        cell.append(static_cast<std::size_t>(ms.count(col)), color_letter(col));
+      }
+      if (cell.empty()) cell = ".";
+      cell.resize(static_cast<std::size_t>(width), ' ');
+      out += cell;
+      if (c + 1 < grid.cols()) out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_trace(const Trace& trace, std::size_t from, std::size_t to) {
+  if (to == 0 || to > trace.size()) to = trace.size();
+  std::string out;
+  for (std::size_t i = from; i < to; ++i) {
+    out += "step " + std::to_string(i) + ": " + trace[i].note + "\n";
+    out += render(trace[i].config);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_visit_order(const Trace& trace) {
+  if (trace.empty()) return "";
+  const Grid& grid = trace[0].config.grid();
+  std::vector<int> first(static_cast<std::size_t>(grid.num_nodes()), -1);
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    for (const Robot& r : trace[t].config.robots()) {
+      int& slot = first[static_cast<std::size_t>(grid.index(r.pos))];
+      if (slot < 0) slot = static_cast<int>(t);
+    }
+  }
+  int width = 2;
+  for (int v : first) width = std::max(width, static_cast<int>(std::to_string(v).size()));
+  std::string out;
+  for (int r = 0; r < grid.rows(); ++r) {
+    for (int c = 0; c < grid.cols(); ++c) {
+      std::string cell = std::to_string(first[static_cast<std::size_t>(grid.index({r, c}))]);
+      while (static_cast<int>(cell.size()) < width) cell.insert(cell.begin(), ' ');
+      out += cell;
+      if (c + 1 < grid.cols()) out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lumi

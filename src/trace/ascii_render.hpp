@@ -1,0 +1,22 @@
+// ASCII rendering of configurations and traces, in the style of the paper's
+// figures (one cell per node, multisets like "GW", "." for empty).
+#pragma once
+
+#include <string>
+
+#include "src/core/configuration.hpp"
+#include "src/trace/trace.hpp"
+
+namespace lumi {
+
+std::string render(const Configuration& config);
+
+/// Renders trace entries `[from, to)` with their notes, side by side with
+/// step numbers; `to == 0` means "to the end".
+std::string render_trace(const Trace& trace, std::size_t from = 0, std::size_t to = 0);
+
+/// Renders the order in which nodes were first visited (the paper's Fig. 3
+/// route): each cell shows the zero-based instant of its first visit.
+std::string render_visit_order(const Trace& trace);
+
+}  // namespace lumi

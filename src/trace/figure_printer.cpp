@@ -1,0 +1,153 @@
+#include "src/trace/figure_printer.hpp"
+
+#include <numeric>
+
+#include "src/algorithms/algorithms.hpp"
+#include "src/dsl/dsl.hpp"
+#include "src/engine/runner.hpp"
+#include "src/trace/ascii_render.hpp"
+
+namespace lumi {
+
+namespace {
+
+struct FigureSpec {
+  int figure;
+  const char* caption;
+  Algorithm (*make)();  ///< nullptr for the non-execution figures 1-3
+};
+
+constexpr int kRows = 4;
+constexpr int kCols = 5;
+
+const FigureSpec kSpecs[] = {
+    {4, "Turning west in an execution of Algorithm 1", algorithms::algorithm1},
+    {5, "Turning east in an execution of Algorithm 1", algorithms::algorithm1},
+    {6, "Turning west in an execution of Algorithm 2", algorithms::algorithm2},
+    {7, "Turning west in an execution of Algorithm 3", algorithms::algorithm3},
+    {8, "Turning east in an execution of Algorithm 3", algorithms::algorithm3},
+    {9, "Turning west in an execution of Algorithm 4", algorithms::algorithm4},
+    {10, "Turning west in an execution of Algorithm 5", algorithms::algorithm5},
+    {11, "Turning east in an execution of Algorithm 5", algorithms::algorithm5},
+    {12, "Turning west in an execution of Algorithm 6", algorithms::algorithm6},
+    {13, "Turning east in an execution of Algorithm 6", algorithms::algorithm6},
+    {14, "Turning west in an execution of Algorithm 7", algorithms::algorithm7},
+    {15, "Turning west in an execution of Algorithm 8", algorithms::algorithm8},
+    {16, "Turning east in an execution of Algorithm 8", algorithms::algorithm8},
+    {17, "Proceeding east in an execution of Algorithm 9", algorithms::algorithm9},
+    {18, "Turning west in an execution of Algorithm 9", algorithms::algorithm9},
+    {19, "Proceeding east in an execution of Algorithm 10", algorithms::algorithm10},
+    {20, "Turning west in an execution of Algorithm 10", algorithms::algorithm10},
+    {21, "Turning east in an execution of Algorithm 10", algorithms::algorithm10},
+    {22, "Proceeding east in executions of Algorithm 11 (I)", algorithms::algorithm11},
+    {23, "Proceeding east in executions of Algorithm 11 (II)", algorithms::algorithm11},
+    {24, "Turning west in an execution of Algorithm 11 (I)", algorithms::algorithm11},
+    {25, "Turning west in an execution of Algorithm 11 (II)", algorithms::algorithm11},
+};
+
+Trace run_with_trace(const Algorithm& alg) {
+  const Grid grid(kRows, kCols);
+  RunOptions opts;
+  opts.record_trace = true;
+  RunResult result;
+  if (alg.model == Synchrony::Fsync) {
+    FsyncScheduler sched;
+    result = run_sync(alg, grid, sched, opts);
+  } else {
+    AsyncCentralizedScheduler sched;
+    result = run_async(alg, grid, sched, opts);
+  }
+  return std::move(result.trace);
+}
+
+/// Steps whose note mentions a South movement delimit the turning phases; we
+/// print a window around the requested turn occurrence.
+void print_turn_window(std::ostream& out, const Trace& trace, int occurrence) {
+  int seen = 0;
+  std::size_t anchor = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].note.find("move S") != std::string::npos) {
+      if (seen == occurrence) {
+        anchor = i;
+        break;
+      }
+      // Skip the rest of this turn: advance until a non-South step.
+      while (i + 1 < trace.size() &&
+             trace[i + 1].note.find("move S") != std::string::npos) {
+        i += 1;
+      }
+      seen += 1;
+    }
+  }
+  const std::size_t from = anchor > 1 ? anchor - 2 : 0;
+  const std::size_t to = std::min(trace.size(), anchor + 7);
+  out << render_trace(trace, from, to);
+}
+
+void print_fig1(std::ostream& out) {
+  out << "Figure 1: global directions on a grid (rows grow South, columns grow East)\n\n";
+  out << "            North\n";
+  out << "              ^\n";
+  out << "  West <-- v[i,j] --> East      v[i,j] ~ (row i, column j)\n";
+  out << "              v\n";
+  out << "            South\n";
+  out << "\nRobots never see these labels; views come in 4 rotations (common\n";
+  out << "chirality) or 8 rotations+reflections (no chirality).\n";
+}
+
+void print_fig2(std::ostream& out) {
+  out << "Figure 2: rule description convention.  A rule is guard -> action;\n";
+  out << "guard cells are multisets, 'empty' (white), 'wall' (black) or 'gray'.\n\n";
+  out << "Example, Algorithm 1 rendered in the rule DSL (phi = 2):\n\n";
+  out << dsl::serialize(algorithms::algorithm1());
+}
+
+void print_fig3(std::ostream& out) {
+  out << "Figure 3: route of grid exploration (boustrophedon).  Cells show the\n";
+  out << "instant of first visit in an execution of Algorithm 1 on " << kRows << "x" << kCols
+      << ":\n\n";
+  const Trace trace = run_with_trace(algorithms::algorithm1());
+  out << render_visit_order(trace);
+}
+
+}  // namespace
+
+std::vector<int> available_figures() {
+  std::vector<int> out = {1, 2, 3};
+  for (const FigureSpec& spec : kSpecs) out.push_back(spec.figure);
+  return out;
+}
+
+bool print_figure(std::ostream& out, int figure) {
+  if (figure == 1) {
+    print_fig1(out);
+    return true;
+  }
+  if (figure == 2) {
+    print_fig2(out);
+    return true;
+  }
+  if (figure == 3) {
+    print_fig3(out);
+    return true;
+  }
+  for (const FigureSpec& spec : kSpecs) {
+    if (spec.figure != figure) continue;
+    const Algorithm alg = spec.make();
+    out << "Figure " << figure << ": " << spec.caption << "\n";
+    out << "(algorithm " << alg.name << " on a " << kRows << "x" << kCols
+        << " grid; excerpt around the relevant phase)\n\n";
+    const Trace trace = run_with_trace(alg);
+    const bool proceeding = std::string(spec.caption).find("Proceeding") != std::string::npos;
+    if (proceeding) {
+      out << render_trace(trace, 0, std::min<std::size_t>(trace.size(), 8));
+    } else {
+      const bool east_turn = std::string(spec.caption).find("east") != std::string::npos;
+      print_turn_window(out, trace, east_turn ? 1 : 0);
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace lumi

@@ -1,0 +1,16 @@
+#include "src/trace/trace.hpp"
+
+namespace lumi {
+
+void Trace::push(Configuration config, std::string note) {
+  entries_.push_back(TraceEntry{std::move(config), std::move(note)});
+}
+
+int Trace::find_placement(const Configuration& c) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].config.same_placement(c)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace lumi

@@ -1,0 +1,33 @@
+// Execution traces: the sequence of configurations an execution passes
+// through, annotated with the event that produced each of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/configuration.hpp"
+
+namespace lumi {
+
+struct TraceEntry {
+  Configuration config;
+  std::string note;  ///< e.g. "R4 fired by robot 1 (move S)" or "initial"
+};
+
+class Trace {
+ public:
+  void push(Configuration config, std::string note);
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const TraceEntry& operator[](std::size_t i) const { return entries_.at(i); }
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+
+  /// First index whose configuration equals `c` as an anonymous placement;
+  /// -1 when absent.
+  int find_placement(const Configuration& c) const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace lumi

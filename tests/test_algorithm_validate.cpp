@@ -1,0 +1,147 @@
+// Contract tests for Algorithm::validate and the RuleBuilder: the static
+// checks that keep hand-written rule sets honest.
+#include <gtest/gtest.h>
+
+#include "src/algorithms/registry.hpp"
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi {
+namespace {
+
+using enum Color;
+
+Algorithm skeleton() {
+  Algorithm alg;
+  alg.name = "skeleton";
+  alg.model = Synchrony::Fsync;
+  alg.phi = 1;
+  alg.num_colors = 2;
+  alg.chirality = Chirality::Common;
+  alg.min_rows = 2;
+  alg.min_cols = 3;
+  alg.initial_robots = {{{0, 0}, G}};
+  return alg;
+}
+
+TEST(Validate, AcceptsMinimalAlgorithm) {
+  Algorithm alg = skeleton();
+  alg.rules.push_back(
+      RuleBuilder("R1", G).cell("E", CellPattern::empty()).moves(Dir::East).build());
+  EXPECT_NO_THROW(alg.validate());
+}
+
+TEST(Validate, RejectsColorOutsidePalette) {
+  Algorithm alg = skeleton();
+  alg.rules.push_back(RuleBuilder("R1", B).cell("E", CellPattern::empty()).moves(Dir::East).build());
+  EXPECT_THROW(alg.validate(), std::invalid_argument);  // B with num_colors=2
+}
+
+TEST(Validate, RejectsGuardColorOutsidePalette) {
+  Algorithm alg = skeleton();
+  alg.rules.push_back(RuleBuilder("R1", G).cell("E", {B}).moves(Dir::East).build());
+  EXPECT_THROW(alg.validate(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsGuardCellBeyondPhi) {
+  Algorithm alg = skeleton();  // phi = 1
+  alg.rules.push_back(
+      RuleBuilder("R1", G).cell("EE", CellPattern::empty()).moves(Dir::East).build());
+  EXPECT_THROW(alg.validate(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsMoveOntoPossiblyWallCell) {
+  Algorithm alg = skeleton();
+  // Moving east with the east cell left gray: a wall could be there.
+  Rule rule = RuleBuilder("R1", G).moves(Dir::East).build();
+  alg.rules.push_back(rule);
+  EXPECT_THROW(alg.validate(), std::invalid_argument);
+}
+
+TEST(Validate, MoveOntoRobotCellIsAllowed) {
+  Algorithm alg = skeleton();
+  alg.num_colors = 2;
+  alg.initial_robots = {{{0, 0}, G}, {{0, 1}, W}};
+  alg.rules.push_back(RuleBuilder("R1", G).cell("E", {W}).moves(Dir::East).build());
+  EXPECT_NO_THROW(alg.validate());
+}
+
+TEST(Validate, RejectsEmptyRobotSet) {
+  Algorithm alg = skeleton();
+  alg.initial_robots.clear();
+  EXPECT_THROW(alg.validate(), std::invalid_argument);
+}
+
+TEST(Validate, RejectsInitialRobotOutsideMinimalGrid) {
+  Algorithm alg = skeleton();
+  alg.initial_robots = {{{0, 5}, G}};  // min_cols = 3
+  EXPECT_THROW(alg.validate(), std::invalid_argument);
+}
+
+TEST(Validate, InitialConfigurationRespectsMinima) {
+  Algorithm alg = skeleton();
+  alg.rules.push_back(
+      RuleBuilder("R1", G).cell("E", CellPattern::empty()).moves(Dir::East).build());
+  alg.validate();
+  EXPECT_THROW(alg.initial_configuration(Grid(1, 3)), std::invalid_argument);
+  EXPECT_THROW(alg.initial_configuration(Grid(2, 2)), std::invalid_argument);
+  EXPECT_NO_THROW(alg.initial_configuration(Grid(2, 3)));
+}
+
+TEST(RuleBuilderContract, CenterMustContainSelf) {
+  EXPECT_THROW(RuleBuilder("R1", G).center({W}), std::invalid_argument);
+  EXPECT_NO_THROW(RuleBuilder("R1", G).center({G, W}));
+}
+
+TEST(RuleBuilderContract, DuplicateCellRejected) {
+  RuleBuilder b("R1", G);
+  b.cell("E", CellPattern::empty());
+  EXPECT_THROW(b.cell("E", CellPattern::wall()), std::invalid_argument);
+}
+
+TEST(RuleBuilderContract, CenterViaCellRejected) {
+  RuleBuilder b("R1", G);
+  EXPECT_THROW(b.cell("C", CellPattern::empty()), std::invalid_argument);
+}
+
+TEST(RuleBuilderContract, SingleActionOnly) {
+  RuleBuilder b("R1", G);
+  b.moves(Dir::East);
+  EXPECT_THROW(b.idle(), std::invalid_argument);
+}
+
+TEST(RuleBuilderContract, DefaultCenterIsSelfSingleton) {
+  const Rule r = RuleBuilder("R1", W).cell("E", CellPattern::empty()).moves(Dir::East).build();
+  EXPECT_EQ(r.pattern_at({0, 0}), CellPattern::exactly(ColorMultiset{W}));
+}
+
+TEST(RuleBuilderContract, ToStringMentionsGuardAndAction) {
+  const Rule r =
+      RuleBuilder("R9", B).cell("N", {G}).cell("W", CellPattern::wall()).becomes(W).moves(
+          Dir::East).build();
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("R9"), std::string::npos);
+  EXPECT_NE(s.find("N={G}"), std::string::npos);
+  EXPECT_NE(s.find("W,E"), std::string::npos);
+}
+
+TEST(RegistryContract, AllFourteenRowsPresentAndConsistent) {
+  int optimal = 0;
+  for (const algorithms::TableEntry& e : algorithms::table1()) {
+    const Algorithm alg = e.make();
+    EXPECT_EQ(alg.paper_section, e.section);
+    EXPECT_EQ(alg.phi, e.phi);
+    EXPECT_EQ(alg.num_colors, e.num_colors);
+    EXPECT_EQ(alg.chirality, e.chirality);
+    EXPECT_EQ(alg.num_robots(), e.upper_bound);
+    EXPECT_GE(e.upper_bound, e.lower_bound);
+    EXPECT_EQ(e.optimal, e.upper_bound == e.lower_bound);
+    optimal += e.optimal ? 1 : 0;
+    EXPECT_NO_THROW(alg.validate());
+  }
+  EXPECT_EQ(algorithms::table1().size(), 14u);
+  EXPECT_EQ(optimal, 6);  // "six proposed algorithms are optimal"
+  EXPECT_THROW(algorithms::entry("9.9.9"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace lumi

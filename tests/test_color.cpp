@@ -1,0 +1,71 @@
+#include "src/core/color.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lumi {
+namespace {
+
+TEST(Color, LettersRoundTrip) {
+  for (int i = 0; i < kMaxColors; ++i) {
+    const Color c = static_cast<Color>(i);
+    EXPECT_EQ(color_from_letter(color_letter(c)), c);
+  }
+  EXPECT_THROW(color_from_letter('x'), std::invalid_argument);
+}
+
+TEST(ColorMultiset, StartsEmpty) {
+  ColorMultiset ms;
+  EXPECT_TRUE(ms.empty());
+  EXPECT_EQ(ms.size(), 0);
+  EXPECT_EQ(ms.count(Color::G), 0);
+}
+
+TEST(ColorMultiset, AddRemoveCounts) {
+  ColorMultiset ms;
+  ms.add(Color::G);
+  ms.add(Color::G);
+  ms.add(Color::W);
+  EXPECT_EQ(ms.size(), 3);
+  EXPECT_EQ(ms.count(Color::G), 2);
+  EXPECT_EQ(ms.count(Color::W), 1);
+  EXPECT_EQ(ms.count(Color::B), 0);
+  ms.remove(Color::G);
+  EXPECT_EQ(ms.count(Color::G), 1);
+  EXPECT_EQ(ms.size(), 2);
+}
+
+TEST(ColorMultiset, RemoveMissingThrows) {
+  ColorMultiset ms;
+  EXPECT_THROW(ms.remove(Color::B), std::logic_error);
+}
+
+TEST(ColorMultiset, OverflowThrows) {
+  ColorMultiset ms;
+  for (int i = 0; i < kMaxRobotsPerNode; ++i) ms.add(Color::W);
+  EXPECT_THROW(ms.add(Color::W), std::overflow_error);
+}
+
+TEST(ColorMultiset, EqualityIsOrderInsensitive) {
+  ColorMultiset a{Color::G, Color::W};
+  ColorMultiset b{Color::W, Color::G};
+  EXPECT_EQ(a, b);
+  ColorMultiset c{Color::W, Color::W};
+  EXPECT_NE(a, c);
+}
+
+TEST(ColorMultiset, InitializerList) {
+  ColorMultiset ms{Color::W, Color::B, Color::W};
+  EXPECT_EQ(ms.count(Color::W), 2);
+  EXPECT_EQ(ms.count(Color::B), 1);
+}
+
+TEST(ColorMultiset, ToStringSortsByPalette) {
+  ColorMultiset ms{Color::W, Color::G, Color::B};
+  EXPECT_EQ(ms.to_string(), "{G,W,B}");
+  EXPECT_EQ(ColorMultiset{}.to_string(), "{}");
+}
+
+}  // namespace
+}  // namespace lumi

@@ -1,0 +1,104 @@
+#include "src/dsl/dsl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/algorithms/algorithms.hpp"
+#include "src/analysis/verifier.hpp"
+
+namespace lumi {
+namespace {
+
+TEST(Dsl, RoundTripsEveryBuiltinAlgorithm) {
+  Algorithm (*factories[])() = {
+      algorithms::algorithm1,  algorithms::algorithm2,  algorithms::algorithm3,
+      algorithms::algorithm4,  algorithms::algorithm5,  algorithms::algorithm6,
+      algorithms::algorithm7,  algorithms::algorithm8,  algorithms::algorithm9,
+      algorithms::algorithm10, algorithms::algorithm11, algorithms::derived423,
+      algorithms::derived424,  algorithms::derived428,
+  };
+  for (auto factory : factories) {
+    const Algorithm original = factory();
+    const std::string text = dsl::serialize(original);
+    const Algorithm parsed = dsl::parse(text);
+    EXPECT_EQ(parsed.name, original.name);
+    EXPECT_EQ(parsed.phi, original.phi);
+    EXPECT_EQ(parsed.num_colors, original.num_colors);
+    EXPECT_EQ(parsed.chirality, original.chirality);
+    EXPECT_EQ(parsed.model, original.model);
+    EXPECT_EQ(parsed.initial_robots, original.initial_robots);
+    ASSERT_EQ(parsed.rules.size(), original.rules.size()) << original.name;
+    for (std::size_t i = 0; i < parsed.rules.size(); ++i) {
+      const Rule& a = parsed.rules[i];
+      const Rule& b = original.rules[i];
+      EXPECT_EQ(a.label, b.label);
+      EXPECT_EQ(a.self, b.self);
+      EXPECT_EQ(a.new_color, b.new_color);
+      EXPECT_EQ(a.move, b.move);
+      // Same effective pattern on every kernel cell.
+      for (Vec o : ViewKernel::get(original.phi).offsets()) {
+        EXPECT_EQ(a.pattern_at(o), b.pattern_at(o))
+            << original.name << "/" << b.label << " cell " << offset_name(o);
+      }
+    }
+    // Double round-trip is a fixed point.
+    EXPECT_EQ(dsl::serialize(parsed), text);
+  }
+}
+
+TEST(Dsl, ParsedAlgorithmStillExplores) {
+  const Algorithm parsed = dsl::parse(dsl::serialize(algorithms::algorithm1()));
+  SweepOptions opts;
+  opts.max_rows = 4;
+  opts.max_cols = 5;
+  EXPECT_TRUE(verify_sweep(parsed, opts).ok());
+}
+
+TEST(Dsl, ParsesHandWrittenText) {
+  const std::string text = R"(# a tiny two-robot pair
+algorithm doc-example
+model fsync
+phi 1
+colors 2
+chirality common
+min-grid 2 3
+init (0,0)=G (0,1)=W
+rule R1 self=W W={G} E=empty -> W,E
+rule R2 self=G E={W} -> G,E
+)";
+  const Algorithm alg = dsl::parse(text);
+  EXPECT_EQ(alg.name, "doc-example");
+  EXPECT_EQ(alg.rules.size(), 2u);
+  EXPECT_EQ(alg.rules[0].self, Color::W);
+  EXPECT_EQ(alg.rules[0].pattern_at({0, -1}), CellPattern::exactly(ColorMultiset{Color::G}));
+  EXPECT_EQ(alg.rules[0].pattern_at({0, 1}), CellPattern::empty());
+  EXPECT_EQ(alg.rules[0].pattern_at({-1, 0}), CellPattern::gray());
+  EXPECT_EQ(alg.rules[1].move, Dir::East);
+}
+
+TEST(Dsl, ErrorsCarryLineNumbers) {
+  EXPECT_THROW(dsl::parse("algorithm x\nbogus declaration\n"), std::invalid_argument);
+  try {
+    dsl::parse("algorithm x\nmodel fsync\nrule R1 self=Q -> G,E\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Dsl, RejectsMalformedRules) {
+  const std::string prefix = "algorithm x\nmodel fsync\nphi 1\ncolors 2\nchirality common\n"
+                             "min-grid 2 3\ninit (0,0)=G\n";
+  EXPECT_THROW(dsl::parse(prefix + "rule R1 self=G -> G\n"), std::invalid_argument);
+  EXPECT_THROW(dsl::parse(prefix + "rule R1 self=G XX={G} -> G,E\n"), std::invalid_argument);
+  EXPECT_THROW(dsl::parse(prefix + "rule R1 self=G E={} -> G,E\n"), std::invalid_argument);
+  EXPECT_THROW(dsl::parse(prefix + "rule R1 self=G E={G} -> G,Q\n"), std::invalid_argument);
+  EXPECT_THROW(dsl::parse(prefix + "rule R1 self=G C=empty -> G,Idle\n"),
+               std::invalid_argument);
+}
+
+TEST(Dsl, MissingNameRejected) {
+  EXPECT_THROW(dsl::parse("model fsync\n"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lumi

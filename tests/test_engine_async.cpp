@@ -1,0 +1,95 @@
+#include "src/engine/async_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi {
+namespace {
+
+using enum Color;
+
+TEST(AsyncEngine, PhasesAdvanceLookColorMove) {
+  const Algorithm alg = algorithms::algorithm6();
+  const Grid grid(2, 4);
+  AsyncEngine engine(alg, alg.initial_configuration(grid));
+
+  // Initially only W (robot 1) is enabled (rule R1).
+  const auto effective = engine.effective_robots();
+  ASSERT_EQ(effective.size(), 1u);
+  EXPECT_EQ(effective[0], 1);
+  EXPECT_EQ(engine.phase(1), Phase::Idle);
+
+  engine.activate(1);  // Look: decision latched, nothing observable yet
+  EXPECT_EQ(engine.phase(1), Phase::Decided);
+  EXPECT_EQ(engine.config().robot(1).pos, (Vec{0, 1}));
+
+  engine.activate(1);  // Compute-end: color applied (W keeps W here)
+  EXPECT_EQ(engine.phase(1), Phase::Colored);
+  EXPECT_EQ(engine.config().robot(1).color, W);
+
+  engine.activate(1);  // Move
+  EXPECT_EQ(engine.phase(1), Phase::Idle);
+  EXPECT_EQ(engine.config().robot(1).pos, (Vec{0, 2}));
+}
+
+TEST(AsyncEngine, StaleDecisionExecutesAfterWorldChanged) {
+  // Algorithm 6 alternation makes robots enabled one at a time, so fabricate
+  // staleness with Algorithm 10 where R5/R6-style overlaps occur; here we
+  // simply check that a latched decision survives other robots' events.
+  const Algorithm alg = algorithms::algorithm10();
+  const Grid grid(2, 4);
+  AsyncEngine engine(alg, alg.initial_configuration(grid));
+  // Robot 0 (G at (0,0)) is enabled by R1 (move onto the W at (0,1)).
+  auto choices = engine.look_choices(0);
+  ASSERT_FALSE(choices.empty());
+  engine.activate(0, choices.front());
+  EXPECT_EQ(engine.phase(0), Phase::Decided);
+  // Drain its cycle; the decision executes relative to its own position.
+  engine.activate(0);
+  engine.activate(0);
+  EXPECT_EQ(engine.config().robot(0).pos, (Vec{0, 1}));
+  EXPECT_EQ(engine.config().multiset_at({0, 1}).size(), 2);
+}
+
+TEST(AsyncEngine, DisabledLookIsVacuous) {
+  const Algorithm alg = algorithms::algorithm6();
+  const Grid grid(2, 4);
+  AsyncEngine engine(alg, alg.initial_configuration(grid));
+  // Robot 0 (G) is disabled initially: activating it changes nothing.
+  engine.activate(0);
+  EXPECT_EQ(engine.phase(0), Phase::Idle);
+  EXPECT_EQ(engine.config().robot(0).pos, (Vec{0, 0}));
+}
+
+TEST(AsyncEngine, ChoiceValidation) {
+  const Algorithm alg = algorithms::algorithm6();
+  const Grid grid(2, 4);
+  AsyncEngine engine(alg, alg.initial_configuration(grid));
+  Action bogus;
+  bogus.new_color = B;
+  bogus.move = Dir::North;
+  EXPECT_THROW(engine.activate(1, bogus), std::logic_error);
+}
+
+TEST(AsyncEngine, TerminalRequiresIdleAndDisabled) {
+  const Algorithm alg = algorithms::algorithm6();
+  const Grid grid(2, 4);
+  AsyncEngine engine(alg, alg.initial_configuration(grid));
+  EXPECT_FALSE(engine.terminal());
+  engine.activate(1);
+  EXPECT_FALSE(engine.terminal());  // mid-cycle robot keeps the run alive
+}
+
+TEST(AsyncEngine, PendingAccessorGuards) {
+  const Algorithm alg = algorithms::algorithm6();
+  const Grid grid(2, 4);
+  AsyncEngine engine(alg, alg.initial_configuration(grid));
+  EXPECT_THROW(engine.pending(0), std::logic_error);
+  engine.activate(1);
+  EXPECT_NO_THROW(engine.pending(1));
+  EXPECT_THROW(engine.activate(1, Action{}), std::logic_error);  // choice only at Look
+}
+
+}  // namespace
+}  // namespace lumi

@@ -1,0 +1,75 @@
+#include "src/engine/sync_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi {
+namespace {
+
+using enum Color;
+
+TEST(SyncEngine, AppliesColorAndMove) {
+  const Grid grid(2, 3);
+  Configuration c = make_configuration(grid, {{{0, 0}, {G}}});
+  Action a;
+  a.new_color = W;
+  a.move = Dir::East;
+  apply_sync_step(c, std::vector<RobotAction>{{0, a}});
+  EXPECT_EQ(c.robot(0).pos, (Vec{0, 1}));
+  EXPECT_EQ(c.robot(0).color, W);
+}
+
+TEST(SyncEngine, SimultaneousFollowIsAllowed) {
+  // Robot 1 moves into the node robot 0 vacates in the same instant.
+  const Grid grid(1, 3);
+  Configuration c(grid, {Robot{{0, 1}, W}, Robot{{0, 0}, G}});
+  Action east;
+  east.move = Dir::East;
+  east.new_color = W;
+  Action follow;
+  follow.move = Dir::East;
+  follow.new_color = G;
+  apply_sync_step(c, std::vector<RobotAction>{{0, east}, {1, follow}});
+  EXPECT_EQ(c.robot(0).pos, (Vec{0, 2}));
+  EXPECT_EQ(c.robot(1).pos, (Vec{0, 1}));
+}
+
+TEST(SyncEngine, SimultaneousSwapAndStackAllowed) {
+  const Grid grid(1, 2);
+  Configuration c(grid, {Robot{{0, 0}, G}, Robot{{0, 1}, W}});
+  Action east;
+  east.new_color = G;
+  east.move = Dir::East;
+  Action west;
+  west.new_color = W;
+  west.move = Dir::West;
+  apply_sync_step(c, std::vector<RobotAction>{{0, east}, {1, west}});
+  EXPECT_EQ(c.robot(0).pos, (Vec{0, 1}));
+  EXPECT_EQ(c.robot(1).pos, (Vec{0, 0}));
+}
+
+TEST(SyncEngine, MoveOffGridThrows) {
+  const Grid grid(1, 2);
+  Configuration c(grid, {Robot{{0, 0}, G}});
+  Action north;
+  north.new_color = G;
+  north.move = Dir::North;
+  EXPECT_THROW(apply_sync_step(c, std::vector<RobotAction>{{0, north}}), std::logic_error);
+}
+
+TEST(SyncEngine, AllEnabledActionsShape) {
+  const Algorithm alg = algorithms::algorithm1();
+  const Grid grid(2, 4);
+  const Configuration c = alg.initial_configuration(grid);
+  const auto enabled = all_enabled_actions(alg, c);
+  ASSERT_EQ(enabled.size(), 2u);
+  // Both robots are enabled in the initial configuration (R2 and R1).
+  EXPECT_EQ(enabled[0].size(), 1u);
+  EXPECT_EQ(enabled[1].size(), 1u);
+  EXPECT_EQ(enabled[0][0].move, Dir::East);
+  EXPECT_EQ(enabled[1][0].move, Dir::East);
+}
+
+}  // namespace
+}  // namespace lumi

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/core/configuration.hpp"
+
+namespace lumi {
+namespace {
+
+TEST(Grid, BasicProperties) {
+  const Grid g(3, 4);
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_EQ(g.cols(), 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_TRUE(g.contains({0, 0}));
+  EXPECT_TRUE(g.contains({2, 3}));
+  EXPECT_FALSE(g.contains({-1, 0}));
+  EXPECT_FALSE(g.contains({3, 0}));
+  EXPECT_FALSE(g.contains({0, 4}));
+}
+
+TEST(Grid, RejectsDegenerateDimensions) {
+  EXPECT_THROW(Grid(0, 3), std::invalid_argument);
+  EXPECT_THROW(Grid(3, 0), std::invalid_argument);
+}
+
+TEST(Grid, IndexRoundTrip) {
+  const Grid g(5, 7);
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(g.index(g.node(i)), i);
+  }
+}
+
+TEST(Grid, EndAndInnerNodes) {
+  const Grid g(9, 9);
+  EXPECT_TRUE(g.is_end_node({0, 4}));    // border => degree 3
+  EXPECT_TRUE(g.is_end_node({0, 0}));    // corner => degree 2
+  EXPECT_FALSE(g.is_end_node({4, 4}));
+  // Inner nodes are at distance >= 3 from every end node.
+  EXPECT_TRUE(g.is_inner_node({4, 4}));
+  EXPECT_TRUE(g.is_inner_node({3, 3}));
+  EXPECT_TRUE(g.is_inner_node({5, 5}));
+  EXPECT_FALSE(g.is_inner_node({2, 4}));
+  EXPECT_FALSE(g.is_inner_node({4, 6}));
+  // A 9x9 grid has exactly 3x3 = 9 inner nodes, matching the proof of
+  // Theorem 1 ("the number of inner nodes in G is at least nine").
+  int inner = 0;
+  for (int i = 0; i < g.num_nodes(); ++i) inner += g.is_inner_node(g.node(i)) ? 1 : 0;
+  EXPECT_EQ(inner, 9);
+}
+
+TEST(Configuration, CellAndMultiset) {
+  const Grid g(2, 3);
+  Configuration c = make_configuration(g, {{{0, 0}, {Color::G}}, {{0, 1}, {Color::W, Color::B}}});
+  EXPECT_EQ(c.num_robots(), 3);
+  EXPECT_EQ(c.multiset_at({0, 0}), (ColorMultiset{Color::G}));
+  EXPECT_EQ(c.multiset_at({0, 1}), (ColorMultiset{Color::B, Color::W}));
+  EXPECT_TRUE(c.multiset_at({1, 2}).empty());
+  EXPECT_FALSE(c.cell({0, 0}).wall);
+  EXPECT_TRUE(c.cell({-1, 0}).wall);
+  EXPECT_TRUE(c.cell({0, 3}).wall);
+}
+
+TEST(Configuration, RejectsOffGridPlacement) {
+  const Grid g(2, 3);
+  EXPECT_THROW(Configuration(g, {Robot{{5, 5}, Color::G}}), std::invalid_argument);
+}
+
+TEST(Configuration, MoveValidatesAdjacency) {
+  const Grid g(2, 3);
+  Configuration c(g, {Robot{{0, 0}, Color::G}});
+  c.move_robot(0, {0, 1});
+  EXPECT_EQ(c.robot(0).pos, (Vec{0, 1}));
+  EXPECT_THROW(c.move_robot(0, {1, 2}), std::logic_error);   // not adjacent
+  EXPECT_THROW(c.move_robot(0, {-1, 1}), std::logic_error);  // off grid
+}
+
+TEST(Configuration, SamePlacementIgnoresRobotIdentity) {
+  const Grid g(2, 3);
+  Configuration a(g, {Robot{{0, 0}, Color::G}, Robot{{0, 1}, Color::W}});
+  Configuration b(g, {Robot{{0, 1}, Color::W}, Robot{{0, 0}, Color::G}});
+  EXPECT_TRUE(a.same_placement(b));
+  EXPECT_EQ(a.canonical_hash(), b.canonical_hash());
+  Configuration c(g, {Robot{{0, 0}, Color::W}, Robot{{0, 1}, Color::G}});
+  EXPECT_FALSE(a.same_placement(c));
+}
+
+TEST(Configuration, ToStringSortedByNode) {
+  const Grid g(2, 3);
+  Configuration c = make_configuration(g, {{{1, 2}, {Color::W}}, {{0, 0}, {Color::G}}});
+  EXPECT_EQ(c.to_string(), "{(0,0):{G}, (1,2):{W}}");
+}
+
+TEST(Configuration, StackedRobotsRender) {
+  const Grid g(2, 3);
+  Configuration c = make_configuration(g, {{{1, 0}, {Color::G, Color::W, Color::W}}});
+  EXPECT_EQ(c.to_string(), "{(1,0):{G,W,W}}");
+}
+
+}  // namespace
+}  // namespace lumi

@@ -1,0 +1,103 @@
+// Exhaustive model checking of the Table-1 algorithms on small grids: every
+// schedule the respective model admits must terminate fully explored.
+#include "src/analysis/model_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/algorithms/registry.hpp"
+
+namespace lumi {
+namespace {
+
+TEST(ModelChecker, FsyncAlgorithmsExhaustive) {
+  for (const char* section : {"4.2.1", "4.2.2", "4.2.3", "4.2.4", "4.2.5", "4.2.6", "4.2.7",
+                              "4.2.8"}) {
+    const Algorithm alg = algorithms::entry(section).make();
+    for (const auto& [rows, cols] : {std::pair{2, 3}, {3, 4}, {4, 4}, {3, 5}}) {
+      const CheckResult r = model_check(alg, Grid(rows, cols), CheckModel::Fsync);
+      EXPECT_TRUE(r.ok) << section << " on " << rows << "x" << cols << ": " << r.to_string();
+    }
+  }
+}
+
+TEST(ModelChecker, AsyncAlgorithmsExhaustiveUnderSsync) {
+  for (const char* section : {"4.3.1", "4.3.2", "4.3.3", "4.3.4", "4.3.5", "4.3.6"}) {
+    const Algorithm alg = algorithms::entry(section).make();
+    const int min_rows = alg.min_rows;
+    for (const auto& [rows, cols] : {std::pair{2, 3}, {3, 4}, {3, 3}, {4, 3}, {4, 4}}) {
+      if (rows < min_rows) continue;
+      const CheckResult r = model_check(alg, Grid(rows, cols), CheckModel::Ssync);
+      EXPECT_TRUE(r.ok) << section << " SSYNC on " << rows << "x" << cols << ": "
+                        << r.to_string();
+    }
+  }
+}
+
+TEST(ModelChecker, AsyncAlgorithmsExhaustiveUnderAsync) {
+  // 4.3.6 is SSYNC-verified only; see Algorithm 11's capability note.
+  for (const char* section : {"4.3.1", "4.3.2", "4.3.3", "4.3.4", "4.3.5"}) {
+    const Algorithm alg = algorithms::entry(section).make();
+    const int min_rows = alg.min_rows;
+    for (const auto& [rows, cols] : {std::pair{2, 3}, {3, 4}}) {
+      if (rows < min_rows) continue;
+      const CheckResult r = model_check(alg, Grid(rows, cols), CheckModel::Async);
+      EXPECT_TRUE(r.ok) << section << " ASYNC on " << rows << "x" << cols << ": "
+                        << r.to_string();
+    }
+  }
+}
+
+TEST(ModelChecker, DetectsIncompleteCoverage) {
+  // A do-nothing algorithm terminates immediately without exploring.
+  Algorithm idle;
+  idle.name = "idle";
+  idle.model = Synchrony::Fsync;
+  idle.phi = 1;
+  idle.num_colors = 1;
+  idle.chirality = Chirality::Common;
+  idle.min_rows = 2;
+  idle.min_cols = 3;
+  idle.initial_robots = {{{0, 0}, Color::G}};
+  idle.validate();
+  const CheckResult r = model_check(idle, Grid(2, 3), CheckModel::Fsync);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("incomplete coverage"), std::string::npos) << r.failure;
+}
+
+TEST(ModelChecker, DetectsNonTermination) {
+  // Two robots endlessly swapping: cycle detection must fire.
+  Algorithm pingpong;
+  pingpong.name = "pingpong";
+  pingpong.model = Synchrony::Fsync;
+  pingpong.phi = 1;
+  pingpong.num_colors = 2;
+  pingpong.chirality = Chirality::Common;
+  pingpong.min_rows = 2;
+  pingpong.min_cols = 3;
+  pingpong.initial_robots = {{{0, 0}, Color::G}, {{0, 1}, Color::W}};
+  pingpong.rules.push_back(
+      RuleBuilder("R1", Color::G).cell("E", {Color::W}).moves(Dir::East).build());
+  pingpong.rules.push_back(
+      RuleBuilder("R2", Color::W).cell("W", {Color::G}).moves(Dir::West).build());
+  pingpong.validate();
+  const CheckResult r = model_check(pingpong, Grid(2, 3), CheckModel::Fsync);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("cycle"), std::string::npos) << r.failure;
+}
+
+TEST(ModelChecker, RejectsOversizedGrids) {
+  const Algorithm alg = algorithms::entry("4.2.1").make();
+  EXPECT_THROW(model_check(alg, Grid(9, 9), CheckModel::Fsync), std::invalid_argument);
+}
+
+TEST(ModelChecker, CountsStatesAndTransitions) {
+  const Algorithm alg = algorithms::entry("4.2.1").make();
+  const CheckResult r = model_check(alg, Grid(2, 3), CheckModel::Fsync);
+  ASSERT_TRUE(r.ok) << r.to_string();
+  EXPECT_GE(r.states, 5);
+  EXPECT_GE(r.transitions, r.states - 1);
+  EXPECT_GE(r.terminal_states, 1);
+}
+
+}  // namespace
+}  // namespace lumi

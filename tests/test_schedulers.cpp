@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "src/algorithms/algorithms.hpp"
+#include "src/engine/runner.hpp"
+
+namespace lumi {
+namespace {
+
+TEST(FsyncScheduler, SelectsEveryEnabledRobot) {
+  const Algorithm alg = algorithms::algorithm1();
+  const Grid grid(2, 4);
+  const Configuration c = alg.initial_configuration(grid);
+  const auto enabled = all_enabled_actions(alg, c);
+  FsyncScheduler sched;
+  const auto selected = sched.select(c, enabled);
+  EXPECT_EQ(selected.size(), 2u);
+}
+
+TEST(SsyncRandomScheduler, SelectsNonemptySubsetOfEnabled) {
+  const Algorithm alg = algorithms::algorithm6();
+  const Grid grid(2, 4);
+  const Configuration c = alg.initial_configuration(grid);
+  const auto enabled = all_enabled_actions(alg, c);
+  SsyncRandomScheduler sched(7);
+  for (int i = 0; i < 20; ++i) {
+    const auto selected = sched.select(c, enabled);
+    ASSERT_FALSE(selected.empty());
+    for (const RobotAction& ra : selected) {
+      EXPECT_FALSE(enabled[static_cast<std::size_t>(ra.robot)].empty());
+    }
+  }
+}
+
+TEST(SsyncRoundRobin, RotatesThroughRobots) {
+  const Algorithm alg = algorithms::algorithm1();
+  const Grid grid(2, 4);
+  const Configuration c = alg.initial_configuration(grid);
+  const auto enabled = all_enabled_actions(alg, c);
+  SsyncRoundRobinScheduler sched;
+  const auto first = sched.select(c, enabled);
+  const auto second = sched.select(c, enabled);
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NE(first[0].robot, second[0].robot);
+}
+
+TEST(AsyncCentralized, FinishesStartedCyclesFirst) {
+  const Algorithm alg = algorithms::algorithm10();
+  const Grid grid(2, 4);
+  AsyncEngine engine(alg, alg.initial_configuration(grid));
+  AsyncCentralizedScheduler sched;
+  const auto effective = engine.effective_robots();
+  ASSERT_FALSE(effective.empty());
+  const int first = sched.pick_robot(engine, effective);
+  engine.activate(first, engine.look_choices(first).front());
+  // With robot `first` mid-cycle, the scheduler must keep picking it.
+  const auto effective2 = engine.effective_robots();
+  EXPECT_EQ(sched.pick_robot(engine, effective2), first);
+}
+
+TEST(AsyncSchedulers, RunnersProduceDeterministicResultsPerSeed) {
+  const Algorithm alg = algorithms::algorithm6();
+  const Grid grid(3, 4);
+  RunOptions opts;
+  AsyncRandomScheduler a(42), b(42);
+  const RunResult ra = run_async(alg, grid, a, opts);
+  const RunResult rb = run_async(alg, grid, b, opts);
+  EXPECT_EQ(ra.stats.instants, rb.stats.instants);
+  EXPECT_EQ(ra.stats.moves, rb.stats.moves);
+  EXPECT_TRUE(ra.ok());
+}
+
+}  // namespace
+}  // namespace lumi

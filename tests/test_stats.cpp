@@ -1,0 +1,58 @@
+#include "src/analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/algorithms/algorithms.hpp"
+#include "src/engine/runner.hpp"
+
+namespace lumi {
+namespace {
+
+TEST(Stats, AggregateBasics) {
+  const Aggregate a = aggregate({3, 1, 2});
+  EXPECT_EQ(a.count, 3);
+  EXPECT_EQ(a.min, 1);
+  EXPECT_EQ(a.max, 3);
+  EXPECT_DOUBLE_EQ(a.mean, 2.0);
+  EXPECT_NE(a.to_string().find("n=3"), std::string::npos);
+}
+
+TEST(Stats, AggregateEmpty) {
+  const Aggregate a = aggregate({});
+  EXPECT_EQ(a.count, 0);
+  EXPECT_EQ(a.min, 0);
+  EXPECT_EQ(a.max, 0);
+}
+
+TEST(Stats, LinearSlopeExact) {
+  EXPECT_DOUBLE_EQ(linear_slope({1, 2, 3, 4}, {2, 4, 6, 8}), 2.0);
+  EXPECT_DOUBLE_EQ(linear_slope({0, 1}, {5, 5}), 0.0);
+}
+
+TEST(Stats, LinearSlopeErrors) {
+  EXPECT_THROW(linear_slope({1}, {1}), std::invalid_argument);
+  EXPECT_THROW(linear_slope({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(linear_slope({2, 2}, {1, 3}), std::invalid_argument);
+}
+
+TEST(Stats, MoveCountsScaleLinearlyWithArea) {
+  // The headline structural claim behind the paper's sweep route: total
+  // moves are Theta(m*n).  Fit a line through (area, moves) samples and
+  // check the residual structure via the ratio spread.
+  std::vector<double> area;
+  std::vector<double> moves;
+  const Algorithm alg = algorithms::algorithm1();
+  for (int n = 4; n <= 12; n += 2) {
+    FsyncScheduler sched;
+    const RunResult r = run_sync(alg, Grid(n, n + 1), sched);
+    ASSERT_TRUE(r.ok());
+    area.push_back(static_cast<double>(n * (n + 1)));
+    moves.push_back(static_cast<double>(r.stats.moves));
+  }
+  const double slope = linear_slope(area, moves);
+  EXPECT_GT(slope, 1.0);   // at least one move per node
+  EXPECT_LT(slope, 4.0);   // bounded constant per node
+}
+
+}  // namespace
+}  // namespace lumi

@@ -1,0 +1,149 @@
+// Property tests for the core model-theoretic invariant: robots have no
+// global compass, so *everything* must commute with the dihedral symmetries
+// of the grid.  If a configuration is transformed by a grid symmetry g (a
+// rotation for chirality-aware algorithms, any of the 8 for chirality-free
+// ones), every robot's set of enabled behaviors must be exactly the
+// g-image of its behaviors in the original configuration.
+//
+// This invariant is what the hand-written reconstructions lean on when they
+// argue "this guard cannot match in the rotated frame"; checking it
+// mechanically over random configurations guards the matching engine
+// against frame-handling regressions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "src/algorithms/registry.hpp"
+#include "src/core/matching.hpp"
+
+namespace lumi {
+namespace {
+
+/// Applies a grid symmetry to a node of a rows x cols grid.  The symmetry
+/// acts about the grid center; for rotations by 90/270 degrees the grid
+/// dimensions swap.
+Vec transform_node(Vec v, Sym g, int rows, int cols) {
+  // Work in doubled coordinates so the center is integral.
+  const int cr = rows - 1;
+  const int cc = cols - 1;
+  Vec d{2 * v.row - cr, 2 * v.col - cc};  // relative to center, doubled
+  d = apply(g, d);
+  const bool swapped = g.rot % 2 == 1;
+  const int nr = swapped ? cols : rows;
+  const int nc = swapped ? rows : cols;
+  return {(d.row + nr - 1) / 2, (d.col + nc - 1) / 2};
+}
+
+Grid transform_grid(const Grid& grid, Sym g) {
+  return g.rot % 2 == 1 ? Grid(grid.cols(), grid.rows()) : grid;
+}
+
+Configuration transform_config(const Configuration& config, Sym g) {
+  std::vector<Robot> robots;
+  for (const Robot& r : config.robots()) {
+    robots.push_back(Robot{transform_node(r.pos, g, config.grid().rows(), config.grid().cols()),
+                           r.color});
+  }
+  return Configuration(transform_grid(config.grid(), g), std::move(robots));
+}
+
+/// Canonical multiset of behaviors: sorted (color, move) pairs.
+std::vector<std::pair<int, int>> behavior_set(const std::vector<Action>& actions) {
+  std::vector<std::pair<int, int>> out;
+  for (const Action& a : actions) {
+    out.emplace_back(static_cast<int>(a.new_color),
+                     a.move.has_value() ? static_cast<int>(*a.move) : -1);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<int, int>> transformed_behavior_set(const std::vector<Action>& actions,
+                                                          Sym g) {
+  std::vector<std::pair<int, int>> out;
+  for (const Action& a : actions) {
+    out.emplace_back(static_cast<int>(a.new_color),
+                     a.move.has_value() ? static_cast<int>(apply(g, *a.move)) : -1);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Configuration random_config(const Grid& grid, int robots, int colors, std::mt19937& rng) {
+  std::uniform_int_distribution<int> node(0, grid.num_nodes() - 1);
+  std::uniform_int_distribution<int> color(0, colors - 1);
+  std::vector<Robot> placed;
+  for (int i = 0; i < robots; ++i) {
+    placed.push_back(Robot{grid.node(node(rng)), static_cast<Color>(color(rng))});
+  }
+  return Configuration(grid, std::move(placed));
+}
+
+class EquivarianceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EquivarianceTest, MatchingCommutesWithGridSymmetries) {
+  const Algorithm alg = algorithms::entry(GetParam()).make();
+  std::mt19937 rng(0xC0FFEE ^ std::hash<std::string>{}(GetParam()));
+  const Grid grid(5, 6);
+  // With common chirality only rotations are symmetries of the *model*;
+  // without chirality all eight are.
+  const auto syms = alg.symmetries();
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const Configuration config = random_config(grid, alg.num_robots(), alg.num_colors, rng);
+    for (Sym g : syms) {
+      const Configuration image = transform_config(config, g);
+      for (int robot = 0; robot < config.num_robots(); ++robot) {
+        const auto original = enabled_actions(alg, config, robot);
+        const auto mapped = enabled_actions(alg, image, robot);
+        EXPECT_EQ(transformed_behavior_set(original, g), behavior_set(mapped))
+            << "robot " << robot << " in " << config.to_string() << " under sym rot="
+            << int(g.rot) << " mirror=" << g.mirror;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTable1, EquivarianceTest,
+                         ::testing::Values("4.2.1", "4.2.2", "4.2.5", "4.2.6", "4.2.7",
+                                           "4.3.1", "4.3.2", "4.3.3", "4.3.4", "4.3.5",
+                                           "4.3.6"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return "sec" + name;
+                         });
+
+TEST(EquivarianceHelpers, NodeTransformRoundTrips) {
+  const Grid grid(4, 7);
+  for (Sym g : all_symmetries()) {
+    const Grid image = transform_grid(grid, g);
+    std::vector<bool> seen(static_cast<std::size_t>(grid.num_nodes()), false);
+    for (int i = 0; i < grid.num_nodes(); ++i) {
+      const Vec v = transform_node(grid.node(i), g, grid.rows(), grid.cols());
+      ASSERT_TRUE(image.contains(v)) << "sym maps node off-grid";
+      ASSERT_FALSE(seen[static_cast<std::size_t>(image.index(v))]) << "sym not injective";
+      seen[static_cast<std::size_t>(image.index(v))] = true;
+    }
+  }
+}
+
+TEST(EquivarianceHelpers, AdjacencyPreserved) {
+  const Grid grid(5, 5);
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> node(0, grid.num_nodes() - 1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec a = grid.node(node(rng));
+    const Vec b = grid.node(node(rng));
+    for (Sym g : all_symmetries()) {
+      EXPECT_EQ(manhattan(a, b),
+                manhattan(transform_node(a, g, 5, 5), transform_node(b, g, 5, 5)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lumi

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/algorithms/algorithms.hpp"
+#include "src/engine/runner.hpp"
+#include "src/trace/ascii_render.hpp"
+#include "src/trace/figure_printer.hpp"
+
+namespace lumi {
+namespace {
+
+using enum Color;
+
+TEST(AsciiRender, SingleConfiguration) {
+  const Grid grid(2, 3);
+  const Configuration c = make_configuration(grid, {{{0, 0}, {G}}, {{1, 2}, {W, B}}});
+  const std::string art = render(c);
+  EXPECT_EQ(art,
+            "G  .  . \n"
+            ".  .  WB\n");
+}
+
+TEST(AsciiRender, SingleWidthWhenUnstacked) {
+  const Grid grid(1, 3);
+  const Configuration c = make_configuration(grid, {{{0, 1}, {G}}});
+  EXPECT_EQ(render(c), ". G .\n");
+}
+
+TEST(AsciiRender, TraceIncludesNotesAndSteps) {
+  const Algorithm alg = algorithms::algorithm1();
+  const Grid grid(2, 3);
+  FsyncScheduler sched;
+  RunOptions opts;
+  opts.record_trace = true;
+  const RunResult r = run_sync(alg, grid, sched, opts);
+  ASSERT_TRUE(r.ok());
+  const std::string art = render_trace(r.trace);
+  EXPECT_NE(art.find("step 0: initial"), std::string::npos);
+  EXPECT_NE(art.find("R1"), std::string::npos);
+}
+
+TEST(AsciiRender, VisitOrderIsBoustrophedon) {
+  // Fig. 3: row 0 visited left-to-right, row 1 right-to-left, ...
+  const Algorithm alg = algorithms::algorithm1();
+  const Grid grid(3, 4);
+  FsyncScheduler sched;
+  RunOptions opts;
+  opts.record_trace = true;
+  const RunResult r = run_sync(alg, grid, sched, opts);
+  ASSERT_TRUE(r.ok());
+  // First-visit instants must increase eastward on row 0 (beyond the two
+  // initially occupied nodes) and westward on row 1.
+  std::vector<int> first(static_cast<std::size_t>(grid.num_nodes()), -1);
+  for (std::size_t t = 0; t < r.trace.size(); ++t) {
+    for (const Robot& robot : r.trace[t].config.robots()) {
+      int& slot = first[static_cast<std::size_t>(grid.index(robot.pos))];
+      if (slot < 0) slot = static_cast<int>(t);
+    }
+  }
+  for (int c = 0; c + 1 < grid.cols(); ++c) {
+    EXPECT_LE(first[static_cast<std::size_t>(grid.index({0, c}))],
+              first[static_cast<std::size_t>(grid.index({0, c + 1}))]);
+  }
+  // Row 1 is swept westward; the two easternmost nodes are entered during
+  // the turn itself (G drops onto (1,n-2) before W drops onto (1,n-1)).
+  for (int c = 0; c + 2 < grid.cols(); ++c) {
+    EXPECT_GE(first[static_cast<std::size_t>(grid.index({1, c}))],
+              first[static_cast<std::size_t>(grid.index({1, c + 1}))]);
+  }
+  const std::string art = render_visit_order(r.trace);
+  EXPECT_FALSE(art.empty());
+  EXPECT_EQ(art.find("-1"), std::string::npos);  // everything visited
+}
+
+TEST(FigurePrinter, AllAdvertisedFiguresPrint) {
+  for (int fig : available_figures()) {
+    std::ostringstream out;
+    EXPECT_TRUE(print_figure(out, fig)) << "figure " << fig;
+    EXPECT_FALSE(out.str().empty()) << "figure " << fig;
+  }
+}
+
+TEST(FigurePrinter, UnknownFigureRejected) {
+  std::ostringstream out;
+  EXPECT_FALSE(print_figure(out, 99));
+}
+
+TEST(Trace, FindPlacementLocatesConfigurations) {
+  const Algorithm alg = algorithms::algorithm1();
+  const Grid grid(2, 3);
+  FsyncScheduler sched;
+  RunOptions opts;
+  opts.record_trace = true;
+  const RunResult r = run_sync(alg, grid, sched, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.trace.find_placement(alg.initial_configuration(grid)), 0);
+  const Configuration nowhere = make_configuration(grid, {{{1, 1}, {B}}});
+  EXPECT_EQ(r.trace.find_placement(nowhere), -1);
+}
+
+}  // namespace
+}  // namespace lumi

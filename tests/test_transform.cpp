@@ -1,0 +1,84 @@
+#include "src/algorithms/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/algorithms/algorithms.hpp"
+#include "src/engine/runner.hpp"
+
+namespace lumi {
+namespace {
+
+using enum Color;
+
+TEST(Transform, Derived423ShapeMatchesTable) {
+  const Algorithm alg = algorithms::derived423();
+  EXPECT_EQ(alg.num_robots(), 3);
+  EXPECT_EQ(alg.num_colors, 1);  // only G remains
+  EXPECT_EQ(alg.phi, 2);
+  EXPECT_EQ(alg.chirality, Chirality::Common);
+}
+
+TEST(Transform, Derived424ShapeMatchesTable) {
+  const Algorithm alg = algorithms::derived424();
+  EXPECT_EQ(alg.num_robots(), 4);
+  EXPECT_EQ(alg.num_colors, 1);
+}
+
+TEST(Transform, Derived428ShapeMatchesTable) {
+  const Algorithm alg = algorithms::derived428();
+  EXPECT_EQ(alg.num_robots(), 5);
+  EXPECT_EQ(alg.num_colors, 2);  // G and W remain
+  EXPECT_EQ(alg.phi, 1);
+}
+
+TEST(Transform, GuardMultisetsAreDoubled) {
+  const Algorithm base = algorithms::algorithm1();
+  const Algorithm derived = algorithms::derived423();
+  // Base R1 is self=W with G at West; derived R1 is self=G, center {G,G}.
+  const Rule* base_r1 = base.find_rule("R1");
+  const Rule* derived_r1 = derived.find_rule("R1");
+  ASSERT_NE(base_r1, nullptr);
+  ASSERT_NE(derived_r1, nullptr);
+  EXPECT_EQ(base_r1->self, W);
+  EXPECT_EQ(derived_r1->self, G);
+  EXPECT_EQ(derived_r1->pattern_at({0, 0}),
+            CellPattern::exactly(ColorMultiset{G, G}));
+  // The W-cell reference in base R2 becomes {G,G} in the derived guard.
+  const Rule* base_r2 = base.find_rule("R2");
+  const Rule* derived_r2 = derived.find_rule("R2");
+  ASSERT_NE(base_r2, nullptr);
+  ASSERT_NE(derived_r2, nullptr);
+  EXPECT_EQ(base_r2->pattern_at({0, 1}), CellPattern::exactly(ColorMultiset{W}));
+  EXPECT_EQ(derived_r2->pattern_at({0, 1}), CellPattern::exactly(ColorMultiset{G, G}));
+}
+
+TEST(Transform, TransformedExecutionShadowsBase) {
+  // The derived algorithm's execution projects onto the base one: same
+  // number of instants on the same grid, and the two G representatives stay
+  // stacked where the W robot used to be.
+  const Algorithm base = algorithms::algorithm1();
+  const Algorithm derived = algorithms::derived423();
+  const Grid grid(3, 4);
+  FsyncScheduler s1, s2;
+  RunOptions opts;
+  opts.require_unique_actions = true;
+  const RunResult rb = run_sync(base, grid, s1, opts);
+  const RunResult rd = run_sync(derived, grid, s2, opts);
+  ASSERT_TRUE(rb.ok()) << rb.failure;
+  ASSERT_TRUE(rd.ok()) << rd.failure;
+  EXPECT_EQ(rb.stats.instants, rd.stats.instants);
+}
+
+TEST(Transform, RejectsRecoloringAlgorithms) {
+  // Algorithm 3 recolors W (rule R3: W -> G), so duplicating W is unsound.
+  EXPECT_THROW(algorithms::duplicate_color(algorithms::algorithm3(), W, G, "bad", "x"),
+               std::invalid_argument);
+}
+
+TEST(Transform, RejectsNonFsync) {
+  EXPECT_THROW(algorithms::duplicate_color(algorithms::algorithm6(), W, G, "bad", "x"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lumi

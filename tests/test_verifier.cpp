@@ -1,0 +1,109 @@
+#include "src/analysis/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/algorithms/algorithms.hpp"
+
+namespace lumi {
+namespace {
+
+using enum Color;
+
+TEST(Verifier, ReportsCleanSweep) {
+  SweepOptions opts;
+  opts.max_rows = 4;
+  opts.max_cols = 5;
+  const SweepReport report = verify_sweep(algorithms::algorithm1(), opts);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.runs, 3 * 3);  // rows 2..4 x cols 3..5, FSYNC only
+  EXPECT_GT(report.total_moves, 0);
+  EXPECT_GT(report.total_instants, 0);
+  EXPECT_NE(report.to_string().find("0 failures"), std::string::npos);
+}
+
+TEST(Verifier, DetectsNonExploringAlgorithm) {
+  // A rule set that walks one robot east and stops: terminates without
+  // exploring.
+  Algorithm lazy;
+  lazy.name = "lazy";
+  lazy.model = Synchrony::Fsync;
+  lazy.phi = 1;
+  lazy.num_colors = 1;
+  lazy.chirality = Chirality::Common;
+  lazy.min_rows = 2;
+  lazy.min_cols = 3;
+  lazy.initial_robots = {{{0, 0}, G}, {{0, 1}, G}};
+  lazy.rules.push_back(RuleBuilder("R1", G)
+                           .cell("W", {G})
+                           .cell("E", CellPattern::empty())
+                           .moves(Dir::East)
+                           .build());
+  lazy.validate();
+
+  SweepOptions opts;
+  opts.max_rows = 3;
+  opts.max_cols = 4;
+  const SweepReport report = verify_sweep(lazy, opts);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_NE(report.failures[0].reason.find("visiting"), std::string::npos);
+}
+
+TEST(Verifier, FsyncUniquenessCheckFires) {
+  // Symmetric initial view: the single robot can move in four directions.
+  Algorithm wander;
+  wander.name = "wander";
+  wander.model = Synchrony::Fsync;
+  wander.phi = 1;
+  wander.num_colors = 1;
+  wander.chirality = Chirality::Common;
+  wander.min_rows = 3;
+  wander.min_cols = 3;
+  wander.initial_robots = {{{1, 1}, G}};
+  wander.rules.push_back(
+      RuleBuilder("R1", G).cell("E", CellPattern::empty()).moves(Dir::East).build());
+  wander.validate();
+
+  SweepOptions opts;
+  opts.min_rows = 3;
+  opts.max_rows = 3;
+  opts.min_cols = 3;
+  opts.max_cols = 3;
+  const SweepReport report = verify_sweep(wander, opts);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_NE(report.failures[0].reason.find("multiple distinct"), std::string::npos);
+}
+
+TEST(Verifier, DefaultSweepMatchesModel) {
+  const SweepOptions fsync = default_sweep_for(algorithms::algorithm1());
+  EXPECT_TRUE(fsync.run_fsync);
+  EXPECT_FALSE(fsync.run_ssync);
+  EXPECT_FALSE(fsync.run_async);
+
+  const SweepOptions async_opts = default_sweep_for(algorithms::algorithm6());
+  EXPECT_TRUE(async_opts.run_ssync);
+  EXPECT_TRUE(async_opts.run_async);
+
+  const SweepOptions ssync_opts = default_sweep_for(algorithms::algorithm11());
+  EXPECT_TRUE(ssync_opts.run_ssync);
+  EXPECT_FALSE(ssync_opts.run_async);
+}
+
+TEST(Verifier, SsyncAndAsyncFamiliesRun) {
+  SweepOptions opts;
+  opts.max_rows = 3;
+  opts.max_cols = 4;
+  opts.seeds = 2;
+  opts.run_fsync = false;
+  opts.run_ssync = true;
+  opts.run_async = true;
+  const SweepReport report = verify_sweep(algorithms::algorithm6(), opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  // rows {2,3} x cols {3,4} x (2 ssync seeds + round-robin + 2*2 async seeds
+  // + centralized) = 4 * 8 runs.
+  EXPECT_EQ(report.runs, 4 * 8);
+}
+
+}  // namespace
+}  // namespace lumi

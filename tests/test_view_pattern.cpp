@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/core/pattern.hpp"
+#include "src/core/view.hpp"
+
+namespace lumi {
+namespace {
+
+TEST(ViewKernel, Sizes) {
+  EXPECT_EQ(ViewKernel::get(1).size(), 5);
+  EXPECT_EQ(ViewKernel::get(2).size(), 13);
+  EXPECT_THROW(ViewKernel(3), std::invalid_argument);
+}
+
+TEST(ViewKernel, ContainsExpectedOffsets) {
+  const ViewKernel& k1 = ViewKernel::get(1);
+  EXPECT_GE(k1.index_of({0, 0}), 0);
+  EXPECT_GE(k1.index_of({-1, 0}), 0);
+  EXPECT_GE(k1.index_of({0, 1}), 0);
+  EXPECT_EQ(k1.index_of({-1, 1}), -1);  // diagonal invisible at phi=1
+  const ViewKernel& k2 = ViewKernel::get(2);
+  EXPECT_GE(k2.index_of({-1, 1}), 0);
+  EXPECT_GE(k2.index_of({0, 2}), 0);
+  EXPECT_EQ(k2.index_of({2, 2}), -1);  // Chebyshev corner not in L1 ball
+}
+
+TEST(ViewKernel, ClosedUnderSymmetry) {
+  for (int phi = 1; phi <= 2; ++phi) {
+    const ViewKernel& k = ViewKernel::get(phi);
+    for (Sym g : all_symmetries()) {
+      for (Vec o : k.offsets()) {
+        EXPECT_GE(k.index_of(apply(g, o)), 0);
+      }
+    }
+  }
+}
+
+TEST(Snapshot, CapturesWallsAndRobots) {
+  const Grid grid(2, 3);
+  Configuration c = make_configuration(grid, {{{0, 0}, {Color::G}}, {{0, 1}, {Color::W}}});
+  const Snapshot snap = take_snapshot(c, 0, 1);
+  EXPECT_EQ(snap.origin, (Vec{0, 0}));
+  EXPECT_EQ(snap.self_color, Color::G);
+  EXPECT_TRUE(snap.at({-1, 0}).wall);                       // north of row 0
+  EXPECT_TRUE(snap.at({0, -1}).wall);                       // west of col 0
+  EXPECT_EQ(snap.at({0, 1}).robots, (ColorMultiset{Color::W}));
+  EXPECT_TRUE(snap.at({1, 0}).robots.empty());
+  EXPECT_EQ(snap.at({0, 0}).robots, (ColorMultiset{Color::G}));  // includes self
+}
+
+TEST(Snapshot, Phi2SeesDistanceTwo) {
+  const Grid grid(3, 5);
+  Configuration c = make_configuration(
+      grid, {{{1, 1}, {Color::G}}, {{1, 3}, {Color::B}}, {{0, 2}, {Color::W}}});
+  const Snapshot snap = take_snapshot(c, 0, 2);
+  // The B robot two columns east and the W robot on the NE diagonal are
+  // both at Manhattan distance 2 and therefore visible.
+  EXPECT_EQ(snap.at({0, 2}).robots, (ColorMultiset{Color::B}));
+  EXPECT_EQ(snap.at({-1, 1}).robots, (ColorMultiset{Color::W}));
+  EXPECT_TRUE(snap.at({0, -1}).robots.empty());
+  EXPECT_TRUE(snap.at({-1, -1}).robots.empty());
+  EXPECT_TRUE(snap.at({1, 1}).robots.empty());   // two rows south is a wall...
+  EXPECT_FALSE(snap.at({1, 1}).wall);
+  EXPECT_TRUE(snap.at({2, 0}).wall);             // (3,1) is outside the 3x5 grid
+  EXPECT_FALSE(snap.at({0, 2}).wall);
+}
+
+TEST(Snapshot, OffsetOutsideKernelThrows) {
+  const Grid grid(3, 3);
+  Configuration c = make_configuration(grid, {{{1, 1}, {Color::G}}});
+  const Snapshot snap = take_snapshot(c, 0, 1);
+  EXPECT_THROW(snap.at({2, 0}), std::out_of_range);
+}
+
+TEST(CellPattern, MatchingSemantics) {
+  const CellContent wall{.wall = true, .robots = {}};
+  const CellContent empty{.wall = false, .robots = {}};
+  const CellContent gw{.wall = false, .robots = ColorMultiset{Color::G, Color::W}};
+
+  EXPECT_TRUE(CellPattern::gray().matches(wall));
+  EXPECT_TRUE(CellPattern::gray().matches(empty));
+  EXPECT_FALSE(CellPattern::gray().matches(gw));
+
+  EXPECT_FALSE(CellPattern::empty().matches(wall));
+  EXPECT_TRUE(CellPattern::empty().matches(empty));
+  EXPECT_FALSE(CellPattern::empty().matches(gw));
+
+  EXPECT_TRUE(CellPattern::wall().matches(wall));
+  EXPECT_FALSE(CellPattern::wall().matches(empty));
+
+  const CellPattern ms = CellPattern::exactly(ColorMultiset{Color::G, Color::W});
+  EXPECT_TRUE(ms.matches(gw));
+  EXPECT_FALSE(ms.matches(empty));
+  EXPECT_FALSE(ms.matches(wall));
+  EXPECT_FALSE(ms.matches(CellContent{false, ColorMultiset{Color::G}}));  // exact, not subset
+
+  EXPECT_TRUE(CellPattern::any().matches(wall));
+  EXPECT_TRUE(CellPattern::any().matches(gw));
+}
+
+TEST(CellPattern, MoveSafety) {
+  EXPECT_TRUE(CellPattern::empty().guarantees_node_exists());
+  EXPECT_TRUE(CellPattern::exactly(ColorMultiset{Color::G}).guarantees_node_exists());
+  EXPECT_FALSE(CellPattern::gray().guarantees_node_exists());
+  EXPECT_FALSE(CellPattern::wall().guarantees_node_exists());
+  EXPECT_FALSE(CellPattern::any().guarantees_node_exists());
+}
+
+}  // namespace
+}  // namespace lumi
