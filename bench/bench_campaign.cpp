@@ -1,0 +1,60 @@
+// Measures campaign throughput (jobs/sec) single-threaded vs. all cores on a
+// fixed matrix, and reports the speedup.  Exits nonzero if the parallel run
+// produces a different merged summary than the single-threaded one (the
+// determinism contract).
+#include <cstdio>
+#include <thread>
+
+#include "src/campaign/campaign.hpp"
+
+namespace {
+
+bool same_summary(const lumi::campaign::CampaignSummary& a,
+                  const lumi::campaign::CampaignSummary& b) {
+  if (a.cells.size() != b.cells.size()) return false;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    if (!(a.cells[i].cell == b.cells[i].cell)) return false;
+    if (!(a.cells[i].acc == b.cells[i].acc)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lumi::campaign;
+
+  Matrix matrix;
+  matrix.sections = paper_sections();
+  matrix.rows = {4, 8, 2};
+  matrix.cols = {4, 8, 2};
+  matrix.schedulers.assign(std::begin(kAllSchedKinds), std::end(kAllSchedKinds));
+  matrix.seeds = {1, 2};
+  if (argc > 1 && std::string(argv[1]) == "--large") {
+    matrix.rows = {4, 16, 4};
+    matrix.cols = {4, 16, 4};
+    matrix.seeds = {1, 2, 3, 4};
+  }
+
+  const Expansion expansion = expand(matrix);
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("bench_campaign: %zu cells, %zu jobs, hardware_concurrency=%u\n",
+              expansion.cells.size(), expansion.jobs.size(), hw);
+
+  const CampaignSummary single = run_campaign(expansion, 1);
+  const double single_rate = static_cast<double>(single.jobs) / single.wall_seconds;
+  std::printf("  threads=1:  %.2fs  %8.1f jobs/s\n", single.wall_seconds, single_rate);
+
+  const CampaignSummary parallel = run_campaign(expansion, 0);
+  const double parallel_rate = static_cast<double>(parallel.jobs) / parallel.wall_seconds;
+  std::printf("  threads=%-2u: %.2fs  %8.1f jobs/s\n", parallel.threads, parallel.wall_seconds,
+              parallel_rate);
+  std::printf("  speedup: %.2fx on %u threads\n", parallel_rate / single_rate, parallel.threads);
+
+  if (!same_summary(single, parallel)) {
+    std::printf("FAIL: single- and multi-threaded summaries differ\n");
+    return 1;
+  }
+  std::printf("summaries identical across thread counts: yes\n");
+  return 0;
+}

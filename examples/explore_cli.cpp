@@ -1,8 +1,7 @@
 // Command-line driver over the whole catalog: run any Table-1 algorithm on
 // any grid under any scheduler, optionally printing the full trace.
 //
-//   $ ./explore_cli --section=4.3.5 --rows=4 --cols=6 --sched=async-random \
-//                   --seed=7 --trace
+//   $ ./explore_cli --section=4.3.5 --rows=4 --cols=6 --sched=async-random --seed=7 --trace
 #include <cstdio>
 #include <cstring>
 #include <iostream>

@@ -1,0 +1,73 @@
+#include "src/campaign/aggregate.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace lumi::campaign {
+
+void LongStat::add(long sample) {
+  if (sample < 0) throw std::invalid_argument("LongStat::add: negative sample");
+  if (count == 0) {
+    min = max = sample;
+  } else {
+    min = std::min(min, sample);
+    max = std::max(max, sample);
+  }
+  ++count;
+  sum += sample;
+  const int bucket = std::bit_width(static_cast<unsigned long>(sample));
+  ++histogram[std::min<std::size_t>(bucket, histogram.size() - 1)];
+}
+
+void LongStat::merge(const LongStat& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t b = 0; b < histogram.size(); ++b) histogram[b] += other.histogram[b];
+}
+
+std::string LongStat::to_string() const {
+  return "n=" + std::to_string(count) + " mean=" + std::to_string(mean()) +
+         " min=" + std::to_string(min) + " max=" + std::to_string(max);
+}
+
+void CellAccumulator::add(const RunResult& result) {
+  ++runs;
+  terminated += result.terminated ? 1 : 0;
+  explored_all += result.explored_all ? 1 : 0;
+  failures += result.failure.empty() ? 0 : 1;
+  instants.add(result.stats.instants);
+  activations.add(result.stats.activations);
+  moves.add(result.stats.moves);
+  color_changes.add(result.stats.color_changes);
+  visited.add(result.visited_count());
+}
+
+void CellAccumulator::merge(const CellAccumulator& other) {
+  runs += other.runs;
+  terminated += other.terminated;
+  explored_all += other.explored_all;
+  failures += other.failures;
+  instants.merge(other.instants);
+  activations.merge(other.activations);
+  moves.merge(other.moves);
+  color_changes.merge(other.color_changes);
+  visited.merge(other.visited);
+}
+
+void CampaignAccumulator::merge(const CampaignAccumulator& other) {
+  if (other.cells_.size() != cells_.size()) {
+    throw std::invalid_argument("CampaignAccumulator::merge: cell count mismatch");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i].merge(other.cells_[i]);
+}
+
+}  // namespace lumi::campaign

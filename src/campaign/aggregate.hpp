@@ -1,0 +1,75 @@
+// Mergeable result accumulators for campaign runs.
+//
+// Every statistic here is order-independent (exact integer sums, min/max,
+// log2 histograms), so merging per-worker accumulators at join yields
+// bit-identical campaign summaries regardless of thread count or stealing
+// order — the property tests/test_campaign.cpp pins down.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/engine/runner.hpp"
+
+namespace lumi::campaign {
+
+/// Summary of a stream of non-negative long samples: count, exact sum,
+/// min/max and a log2 histogram (bucket b counts samples whose bit width is
+/// b, i.e. values in [2^(b-1), 2^b)); bucket 0 counts zeros.
+struct LongStat {
+  long count = 0;
+  long long sum = 0;
+  long min = 0;
+  long max = 0;
+  std::array<long, 32> histogram{};
+
+  void add(long sample);
+  void merge(const LongStat& other);
+  double mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+  std::string to_string() const;
+
+  friend bool operator==(const LongStat&, const LongStat&) = default;
+};
+
+/// Accumulator for one scenario cell (algorithm x grid x scheduler); each
+/// added run contributes its outcome flags and statistic streams.
+struct CellAccumulator {
+  long runs = 0;
+  long terminated = 0;
+  long explored_all = 0;
+  long failures = 0;  ///< runs with a nonempty failure string
+  LongStat instants;
+  LongStat activations;
+  LongStat moves;
+  LongStat color_changes;
+  LongStat visited;  ///< nodes covered per run
+
+  void add(const RunResult& result);
+  void merge(const CellAccumulator& other);
+  double termination_rate() const { return runs == 0 ? 0.0 : static_cast<double>(terminated) / runs; }
+  double exploration_rate() const {
+    return runs == 0 ? 0.0 : static_cast<double>(explored_all) / runs;
+  }
+
+  friend bool operator==(const CellAccumulator&, const CellAccumulator&) = default;
+};
+
+/// Per-worker campaign accumulator: a dense cell vector indexed by the job's
+/// cell id, so the hot path is a plain array write with no locks; workers'
+/// accumulators are merged once at pool join.
+class CampaignAccumulator {
+ public:
+  explicit CampaignAccumulator(std::size_t num_cells) : cells_(num_cells) {}
+
+  void add(std::size_t cell, const RunResult& result) { cells_.at(cell).add(result); }
+  void merge(const CampaignAccumulator& other);
+
+  const std::vector<CellAccumulator>& cells() const { return cells_; }
+
+ private:
+  std::vector<CellAccumulator> cells_;
+};
+
+}  // namespace lumi::campaign

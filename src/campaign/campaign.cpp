@@ -1,0 +1,211 @@
+#include "src/campaign/campaign.hpp"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+
+#include "src/algorithms/registry.hpp"
+#include "src/campaign/thread_pool.hpp"
+#include "src/sched/async_schedulers.hpp"
+#include "src/sched/sync_schedulers.hpp"
+
+namespace lumi::campaign {
+
+std::string to_string(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::Fsync: return "fsync";
+    case SchedKind::SsyncRandom: return "ssync-random";
+    case SchedKind::SsyncRoundRobin: return "ssync-rr";
+    case SchedKind::AsyncRandom: return "async-random";
+    case SchedKind::AsyncCentralized: return "async-central";
+    case SchedKind::AsyncStaleStress: return "async-stress";
+  }
+  throw std::invalid_argument("to_string: bad SchedKind");
+}
+
+std::optional<SchedKind> sched_from_name(const std::string& name) {
+  for (SchedKind kind : kAllSchedKinds) {
+    if (to_string(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+bool sched_is_deterministic(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::Fsync:
+    case SchedKind::SsyncRoundRobin:
+    case SchedKind::AsyncCentralized: return true;
+    case SchedKind::SsyncRandom:
+    case SchedKind::AsyncRandom:
+    case SchedKind::AsyncStaleStress: return false;
+  }
+  throw std::invalid_argument("sched_is_deterministic: bad SchedKind");
+}
+
+Synchrony sched_synchrony(SchedKind kind) {
+  switch (kind) {
+    case SchedKind::Fsync: return Synchrony::Fsync;
+    case SchedKind::SsyncRandom:
+    case SchedKind::SsyncRoundRobin: return Synchrony::Ssync;
+    case SchedKind::AsyncRandom:
+    case SchedKind::AsyncCentralized:
+    case SchedKind::AsyncStaleStress: return Synchrony::Async;
+  }
+  throw std::invalid_argument("sched_synchrony: bad SchedKind");
+}
+
+bool compatible(Synchrony model, SchedKind kind) {
+  // Synchrony is declared in weakness order Fsync < Ssync < Async; an
+  // algorithm tolerating `model` also tolerates every weaker scheduler.
+  return static_cast<int>(sched_synchrony(kind)) <= static_cast<int>(model);
+}
+
+std::vector<int> IntRange::values() const {
+  std::vector<int> out;
+  if (step <= 0) throw std::invalid_argument("IntRange: step must be positive");
+  for (int v = from; v <= to; v += step) out.push_back(v);
+  return out;
+}
+
+std::string to_string(const Cell& cell) {
+  return cell.section + " " + std::to_string(cell.rows) + "x" + std::to_string(cell.cols) + " " +
+         to_string(cell.sched);
+}
+
+Expansion expand(const Matrix& matrix) {
+  Expansion out;
+  out.options = matrix.options;
+  const std::vector<int> rows = matrix.rows.values();
+  const std::vector<int> cols = matrix.cols.values();
+  for (const std::string& section : matrix.sections) {
+    const algorithms::TableEntry& e = algorithms::entry(section);  // throws if unknown
+    const Algorithm alg = e.make();
+    for (int r : rows) {
+      for (int c : cols) {
+        if (r < alg.min_rows || c < alg.min_cols) {
+          if (matrix.skip_incompatible) continue;
+          throw std::invalid_argument("expand: grid " + std::to_string(r) + "x" +
+                                      std::to_string(c) + " below minimum of " + section);
+        }
+        for (SchedKind kind : matrix.schedulers) {
+          if (!compatible(alg.model, kind)) {
+            if (matrix.skip_incompatible) continue;
+            throw std::invalid_argument("expand: scheduler " + to_string(kind) +
+                                        " incompatible with " + section);
+          }
+          const std::size_t cell = out.cells.size();
+          out.cells.push_back({section, r, c, kind});
+          if (sched_is_deterministic(kind)) {
+            out.jobs.push_back({cell, 0});
+          } else {
+            for (unsigned seed : matrix.seeds) out.jobs.push_back({cell, seed});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options) {
+  const Algorithm alg = algorithms::entry(cell.section).make();
+  const Grid grid(cell.rows, cell.cols);
+  switch (cell.sched) {
+    case SchedKind::Fsync: {
+      FsyncScheduler s(seed);
+      return run_sync(alg, grid, s, options);
+    }
+    case SchedKind::SsyncRandom: {
+      SsyncRandomScheduler s(seed);
+      return run_sync(alg, grid, s, options);
+    }
+    case SchedKind::SsyncRoundRobin: {
+      SsyncRoundRobinScheduler s;
+      return run_sync(alg, grid, s, options);
+    }
+    case SchedKind::AsyncRandom: {
+      AsyncRandomScheduler s(seed);
+      return run_async(alg, grid, s, options);
+    }
+    case SchedKind::AsyncCentralized: {
+      AsyncCentralizedScheduler s;
+      return run_async(alg, grid, s, options);
+    }
+    case SchedKind::AsyncStaleStress: {
+      AsyncStaleStressScheduler s(seed);
+      return run_async(alg, grid, s, options);
+    }
+  }
+  throw std::invalid_argument("run_cell: bad SchedKind");
+}
+
+namespace {
+
+RunResult run_job_guarded(const Cell& cell, unsigned seed, const RunOptions& options) {
+  try {
+    return run_cell(cell, seed, options);
+  } catch (const std::exception& e) {
+    RunResult r;
+    r.failure = std::string("exception: ") + e.what();
+    return r;
+  }
+}
+
+}  // namespace
+
+CampaignSummary run_campaign(const Expansion& expansion, unsigned threads) {
+  const auto start = std::chrono::steady_clock::now();
+  ThreadPool pool(threads);
+
+  // One accumulator per worker: the hot path writes thread-private state;
+  // the merge at join is order-independent, so the summary is identical for
+  // any worker count.
+  std::vector<CampaignAccumulator> per_worker(pool.size(),
+                                              CampaignAccumulator(expansion.cells.size()));
+  for (const Job& job : expansion.jobs) {
+    pool.submit([&expansion, &per_worker, &pool, job] {
+      const RunResult result = run_job_guarded(expansion.cells[job.cell], job.seed,
+                                               expansion.options);
+      per_worker[static_cast<std::size_t>(pool.worker_index())].add(job.cell, result);
+    });
+  }
+  pool.wait_idle();
+
+  CampaignAccumulator merged(expansion.cells.size());
+  for (const CampaignAccumulator& acc : per_worker) merged.merge(acc);
+
+  CampaignSummary summary;
+  summary.jobs = expansion.jobs.size();
+  summary.threads = pool.size();
+  summary.cells.reserve(expansion.cells.size());
+  for (std::size_t i = 0; i < expansion.cells.size(); ++i) {
+    summary.cells.push_back({expansion.cells[i], merged.cells()[i]});
+    summary.total.merge(merged.cells()[i]);
+  }
+  summary.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                             .count();
+  return summary;
+}
+
+CampaignSummary run_campaign(const Matrix& matrix, unsigned threads) {
+  return run_campaign(expand(matrix), threads);
+}
+
+std::vector<std::string> paper_sections() {
+  // Table 1 minus the three color-duplication rows (4.2.3, 4.2.4, 4.2.8),
+  // which are derived from Algorithms 1, 2 and 4 rather than given directly.
+  std::vector<std::string> out;
+  for (const algorithms::TableEntry& e : algorithms::table1()) {
+    if (e.section == "4.2.3" || e.section == "4.2.4" || e.section == "4.2.8") continue;
+    out.push_back(e.section);
+  }
+  return out;
+}
+
+std::vector<std::string> all_sections() {
+  std::vector<std::string> out;
+  for (const algorithms::TableEntry& e : algorithms::table1()) out.push_back(e.section);
+  return out;
+}
+
+}  // namespace lumi::campaign

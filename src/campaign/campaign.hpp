@@ -1,0 +1,127 @@
+// Declarative scenario campaigns: a matrix of algorithms (registry sections)
+// x grid dimensions x schedulers x seeds is expanded into jobs, executed on a
+// work-stealing thread pool, and aggregated into per-cell and per-campaign
+// summaries.  For fixed seeds the summary is identical for any worker count.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/campaign/aggregate.hpp"
+#include "src/engine/runner.hpp"
+
+namespace lumi::campaign {
+
+/// The scheduler families a campaign can sweep (mirrors src/sched).
+enum class SchedKind : std::uint8_t {
+  Fsync,
+  SsyncRandom,
+  SsyncRoundRobin,
+  AsyncRandom,
+  AsyncCentralized,
+  AsyncStaleStress,
+};
+
+inline constexpr SchedKind kAllSchedKinds[] = {
+    SchedKind::Fsync,           SchedKind::SsyncRandom,      SchedKind::SsyncRoundRobin,
+    SchedKind::AsyncRandom,     SchedKind::AsyncCentralized, SchedKind::AsyncStaleStress,
+};
+
+std::string to_string(SchedKind kind);
+/// Parses the names printed by to_string (the explore_cli spellings);
+/// std::nullopt for unknown names.
+std::optional<SchedKind> sched_from_name(const std::string& name);
+/// True for schedulers whose behavior ignores the seed (a single job per
+/// cell suffices).
+bool sched_is_deterministic(SchedKind kind);
+/// The synchrony class the scheduler exercises (Fsync < Ssync < Async).
+Synchrony sched_synchrony(SchedKind kind);
+/// Whether an algorithm designed for `model` is guaranteed correct under the
+/// scheduler: the scheduler's class must be no more asynchronous than the
+/// model the algorithm tolerates.
+bool compatible(Synchrony model, SchedKind kind);
+
+/// Inclusive integer range `from..to` advancing by `step`.
+struct IntRange {
+  int from = 0;
+  int to = -1;  ///< default-constructed range is empty
+  int step = 1;
+
+  std::vector<int> values() const;
+};
+
+/// Declarative scenario matrix.  Sections name Table-1 rows in the registry;
+/// unknown sections throw at expansion time.
+struct Matrix {
+  std::vector<std::string> sections;
+  IntRange rows;
+  IntRange cols;
+  std::vector<SchedKind> schedulers;
+  /// Seeds for randomized schedulers; deterministic ones always contribute
+  /// exactly one job per cell.
+  std::vector<unsigned> seeds = {1};
+  RunOptions options;
+  /// Skip (rather than fail) combinations the model forbids: grids below the
+  /// algorithm's minimum and schedulers more asynchronous than its model.
+  bool skip_incompatible = true;
+};
+
+/// One scenario cell: a point of the matrix whose runs are aggregated
+/// together (seeds are replicas within the cell).
+struct Cell {
+  std::string section;
+  int rows = 0;
+  int cols = 0;
+  SchedKind sched = SchedKind::Fsync;
+
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+std::string to_string(const Cell& cell);
+
+/// One unit of work: a cell replica under a concrete seed.
+struct Job {
+  std::size_t cell = 0;  ///< index into Expansion::cells
+  unsigned seed = 0;
+};
+
+struct Expansion {
+  std::vector<Cell> cells;
+  std::vector<Job> jobs;
+  RunOptions options;
+};
+
+/// Expands the matrix in deterministic order (section-major, then rows, cols,
+/// scheduler, seed).  Throws std::out_of_range on unknown sections.
+Expansion expand(const Matrix& matrix);
+
+/// Executes one job (used by the runner; exposed for tests/benches).
+RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options);
+
+struct CellSummary {
+  Cell cell;
+  CellAccumulator acc;
+};
+
+struct CampaignSummary {
+  std::vector<CellSummary> cells;
+  CellAccumulator total;
+  std::size_t jobs = 0;
+  unsigned threads = 1;
+  double wall_seconds = 0.0;
+};
+
+/// Runs every job of the expansion on `threads` workers (0 = all hardware
+/// threads).  Exceptions escaping a job are recorded as that run's failure.
+CampaignSummary run_campaign(const Expansion& expansion, unsigned threads = 0);
+CampaignSummary run_campaign(const Matrix& matrix, unsigned threads = 0);
+
+/// Sections of the eleven directly implemented paper algorithms (Algorithms
+/// 1-11), in Table-1 order.
+std::vector<std::string> paper_sections();
+/// All fourteen Table-1 sections, including the three derived rows.
+std::vector<std::string> all_sections();
+
+}  // namespace lumi::campaign

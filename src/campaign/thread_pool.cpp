@@ -1,0 +1,111 @@
+#include "src/campaign/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lumi {
+
+namespace {
+
+// Identifies the current thread's pool and worker slot for worker_index().
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local int tl_worker = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  queues_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t target = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  // Notify under mu_: a worker between its (mu_-protected) empty re-scan and
+  // work_cv_.wait() would otherwise miss both the push and the notify and
+  // sleep forever.
+  std::lock_guard lock(mu_);
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+int ThreadPool::worker_index() const { return tl_pool == this ? tl_worker : -1; }
+
+bool ThreadPool::try_get_task(unsigned self, std::function<void()>& out) {
+  // Own deque first (LIFO for locality), then steal FIFO from siblings.
+  {
+    Queue& q = *queues_[self];
+    std::lock_guard lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t i = 1; i < queues_.size(); ++i) {
+    Queue& q = *queues_[(self + i) % queues_.size()];
+    std::lock_guard lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned self) {
+  tl_pool = this;
+  tl_worker = static_cast<int>(self);
+  for (;;) {
+    std::function<void()> task;
+    if (try_get_task(self, task)) {
+      task();
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task done: take mu_ so the notify cannot race a waiter that
+        // has checked the predicate but not yet gone to sleep.
+        std::lock_guard lock(mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock lock(mu_);
+    if (stop_) return;
+    // Re-check the deques under mu_: a submit between our scan and this lock
+    // would otherwise be missed and its notify lost.
+    bool queues_empty = true;
+    for (const auto& q : queues_) {
+      std::lock_guard qlock(q->mu);
+      if (!q->tasks.empty()) {
+        queues_empty = false;
+        break;
+      }
+    }
+    if (!queues_empty) continue;
+    work_cv_.wait(lock);
+  }
+}
+
+}  // namespace lumi

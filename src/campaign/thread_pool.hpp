@@ -1,0 +1,62 @@
+// Work-stealing thread pool backing the campaign engine: each worker owns a
+// deque of tasks and steals from siblings when its own runs dry, so large
+// fan-outs of uneven jobs keep every core busy without a single contended
+// queue.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lumi {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` sizes the pool to std::thread::hardware_concurrency()
+  /// (never fewer than one worker).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task; distributed round-robin across worker deques.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void wait_idle();
+
+  /// Index of the calling pool worker in [0, size()), or -1 when called from
+  /// a thread that does not belong to this pool.
+  int worker_index() const;
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Pops from the worker's own deque, else steals from a sibling.
+  bool try_get_task(unsigned self, std::function<void()>& out);
+  void worker_loop(unsigned self);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;  ///< guards stop_ and both condition variables
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> next_queue_{0};
+  bool stop_ = false;
+};
+
+}  // namespace lumi

@@ -1,0 +1,21 @@
+// Campaign report writers: render a CampaignSummary as CSV (one row per
+// scenario cell) or JSON (cells plus campaign totals) for downstream
+// analysis pipelines.
+#pragma once
+
+#include <string>
+
+#include "src/campaign/campaign.hpp"
+
+namespace lumi {
+
+/// CSV with a header row and one row per cell.
+std::string campaign_csv(const campaign::CampaignSummary& summary);
+
+/// Pretty-printed JSON object: campaign metadata, per-cell summaries, totals.
+std::string campaign_json(const campaign::CampaignSummary& summary);
+
+/// Writes `content` to `path`; false (with no throw) on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace lumi

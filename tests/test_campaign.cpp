@@ -1,0 +1,256 @@
+#include "src/campaign/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/algorithms/registry.hpp"
+#include "src/campaign/thread_pool.hpp"
+#include "src/trace/report.hpp"
+
+namespace lumi::campaign {
+namespace {
+
+// --- thread pool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndBounded) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_index(), -1);  // caller is not a pool worker
+  std::atomic<int> bad{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&pool, &bad] {
+      const int w = pool.worker_index();
+      if (w < 0 || w >= static_cast<int>(pool.size())) bad.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // no tasks: returns immediately
+  std::atomic<int> n{0};
+  pool.submit([&n] { n.fetch_add(1); });
+  pool.wait_idle();
+  pool.submit([&n] { n.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(n.load(), 2);
+}
+
+// --- aggregation ------------------------------------------------------------
+
+TEST(Aggregate, LongStatMergeIsOrderIndependent) {
+  const std::vector<long> samples = {0, 1, 5, 9, 1024, 3, 3, 77};
+  LongStat all;
+  for (long s : samples) all.add(s);
+
+  LongStat left, right;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (i % 2 == 0 ? left : right).add(samples[i]);
+  }
+  LongStat merged = right;  // merge in the "wrong" order on purpose
+  merged.merge(left);
+
+  EXPECT_EQ(merged, all);
+  EXPECT_EQ(merged.count, 8);
+  EXPECT_EQ(merged.min, 0);
+  EXPECT_EQ(merged.max, 1024);
+  EXPECT_EQ(merged.sum, std::accumulate(samples.begin(), samples.end(), 0LL));
+}
+
+TEST(Aggregate, LongStatRejectsNegativeSamples) {
+  LongStat s;
+  EXPECT_THROW(s.add(-1), std::invalid_argument);
+}
+
+TEST(Aggregate, MergeRequiresMatchingCellCounts) {
+  CampaignAccumulator a(2), b(3);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+// --- scheduler taxonomy -----------------------------------------------------
+
+TEST(SchedKindTaxonomy, NamesRoundTrip) {
+  for (SchedKind kind : kAllSchedKinds) {
+    const auto parsed = sched_from_name(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(sched_from_name("no-such-sched").has_value());
+}
+
+TEST(SchedKindTaxonomy, CompatibilityFollowsSynchronyOrder) {
+  // FSYNC algorithms only tolerate the FSYNC scheduler...
+  EXPECT_TRUE(compatible(Synchrony::Fsync, SchedKind::Fsync));
+  EXPECT_FALSE(compatible(Synchrony::Fsync, SchedKind::SsyncRandom));
+  EXPECT_FALSE(compatible(Synchrony::Fsync, SchedKind::AsyncRandom));
+  // ...SSYNC ones everything synchronous...
+  EXPECT_TRUE(compatible(Synchrony::Ssync, SchedKind::Fsync));
+  EXPECT_TRUE(compatible(Synchrony::Ssync, SchedKind::SsyncRoundRobin));
+  EXPECT_FALSE(compatible(Synchrony::Ssync, SchedKind::AsyncCentralized));
+  // ...and ASYNC ones every scheduler.
+  for (SchedKind kind : kAllSchedKinds) EXPECT_TRUE(compatible(Synchrony::Async, kind));
+}
+
+// --- expansion --------------------------------------------------------------
+
+TEST(Expansion, CountsCellsAndJobs) {
+  Matrix m;
+  m.sections = {"4.3.1"};  // ASYNC algorithm: compatible with everything
+  m.rows = {4, 6, 2};      // {4, 6}
+  m.cols = {5, 5, 1};      // {5}
+  m.schedulers = {SchedKind::Fsync, SchedKind::AsyncRandom};
+  m.seeds = {1, 2, 3};
+  const Expansion e = expand(m);
+  // 2 grids x 2 schedulers = 4 cells; fsync is deterministic (1 job per
+  // cell), async-random takes all 3 seeds.
+  EXPECT_EQ(e.cells.size(), 4u);
+  EXPECT_EQ(e.jobs.size(), 2u * (1 + 3));
+}
+
+TEST(Expansion, SkipsIncompatibleSchedulers) {
+  Matrix m;
+  m.sections = {"4.2.1"};  // FSYNC-only algorithm
+  m.rows = {4, 4, 1};
+  m.cols = {5, 5, 1};
+  m.schedulers = {SchedKind::Fsync, SchedKind::SsyncRandom, SchedKind::AsyncRandom};
+  const Expansion e = expand(m);
+  ASSERT_EQ(e.cells.size(), 1u);
+  EXPECT_EQ(e.cells[0].sched, SchedKind::Fsync);
+
+  m.skip_incompatible = false;
+  EXPECT_THROW(expand(m), std::invalid_argument);
+}
+
+TEST(Expansion, SkipsGridsBelowAlgorithmMinimum) {
+  const Algorithm alg = algorithms::entry("4.2.1").make();
+  Matrix m;
+  m.sections = {"4.2.1"};
+  m.rows = {1, alg.min_rows, 1};       // everything below min_rows is dropped
+  m.cols = {alg.min_cols, alg.min_cols, 1};
+  m.schedulers = {SchedKind::Fsync};
+  const Expansion e = expand(m);
+  ASSERT_EQ(e.cells.size(), 1u);
+  EXPECT_EQ(e.cells[0].rows, alg.min_rows);
+
+  m.skip_incompatible = false;
+  EXPECT_THROW(expand(m), std::invalid_argument);
+}
+
+TEST(Expansion, EmptyAndDegenerateMatrices) {
+  EXPECT_TRUE(expand(Matrix{}).jobs.empty());
+
+  Matrix no_grids;
+  no_grids.sections = {"4.3.1"};
+  no_grids.schedulers = {SchedKind::Fsync};
+  no_grids.rows = {6, 4, 1};  // from > to: empty range
+  no_grids.cols = {4, 6, 1};
+  EXPECT_TRUE(expand(no_grids).cells.empty());
+
+  Matrix bad_step = no_grids;
+  bad_step.rows = {4, 6, 0};
+  EXPECT_THROW(expand(bad_step), std::invalid_argument);
+
+  Matrix unknown;
+  unknown.sections = {"9.9.9"};
+  EXPECT_THROW(expand(unknown), std::out_of_range);
+}
+
+TEST(Expansion, PaperSectionListsMatchTable) {
+  EXPECT_EQ(paper_sections().size(), 11u);
+  EXPECT_EQ(all_sections().size(), 14u);
+}
+
+// --- end-to-end campaigns ---------------------------------------------------
+
+Matrix small_campaign() {
+  Matrix m;
+  m.sections = {"4.2.1", "4.3.1", "4.3.5"};
+  m.rows = {4, 6, 2};
+  m.cols = {4, 6, 2};
+  m.schedulers = {SchedKind::Fsync, SchedKind::SsyncRandom, SchedKind::AsyncRandom};
+  m.seeds = {7, 8};
+  return m;
+}
+
+TEST(Campaign, RunsAndTerminatesEverywhere) {
+  const CampaignSummary s = run_campaign(small_campaign(), 2);
+  ASSERT_FALSE(s.cells.empty());
+  EXPECT_GT(s.total.runs, 0);
+  EXPECT_EQ(s.total.terminated, s.total.runs);
+  EXPECT_EQ(s.total.explored_all, s.total.runs);
+  EXPECT_EQ(s.total.failures, 0);
+  for (const CellSummary& cell : s.cells) {
+    EXPECT_EQ(cell.acc.visited.min, cell.cell.rows * cell.cell.cols) << to_string(cell.cell);
+  }
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  const Expansion e = expand(small_campaign());
+  const CampaignSummary one = run_campaign(e, 1);
+  const CampaignSummary four = run_campaign(e, 4);
+  ASSERT_EQ(one.cells.size(), four.cells.size());
+  for (std::size_t i = 0; i < one.cells.size(); ++i) {
+    EXPECT_TRUE(one.cells[i].cell == four.cells[i].cell);
+    EXPECT_EQ(one.cells[i].acc, four.cells[i].acc) << to_string(one.cells[i].cell);
+  }
+  EXPECT_EQ(one.total, four.total);
+}
+
+TEST(Campaign, BudgetExhaustionCountsAsFailureNotCrash) {
+  Matrix m = small_campaign();
+  m.options.max_steps = 1;  // nothing terminates in one instant
+  const CampaignSummary s = run_campaign(m, 2);
+  EXPECT_EQ(s.total.terminated, 0);
+  EXPECT_EQ(s.total.failures, s.total.runs);
+}
+
+TEST(Campaign, RunCellMatchesDirectRun) {
+  const Cell cell{"4.3.1", 4, 5, SchedKind::AsyncRandom};
+  const RunResult r = run_cell(cell, 42, RunOptions{});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.visited_count(), 20);
+}
+
+// --- report writers ---------------------------------------------------------
+
+TEST(Report, CsvHasHeaderAndOneRowPerCell) {
+  const CampaignSummary s = run_campaign(small_campaign(), 2);
+  const std::string csv = campaign_csv(s);
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, s.cells.size() + 1);
+  EXPECT_NE(csv.find("section,rows,cols,sched"), std::string::npos);
+  EXPECT_NE(csv.find("4.3.1"), std::string::npos);
+}
+
+TEST(Report, JsonMentionsEveryCellAndTotals) {
+  const CampaignSummary s = run_campaign(small_campaign(), 2);
+  const std::string json = campaign_json(s);
+  EXPECT_NE(json.find("\"cells\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\""), std::string::npos);
+  EXPECT_NE(json.find("\"termination_rate\""), std::string::npos);
+  std::size_t sections = 0;
+  for (std::size_t pos = json.find("\"section\""); pos != std::string::npos;
+       pos = json.find("\"section\"", pos + 1)) {
+    ++sections;
+  }
+  EXPECT_EQ(sections, s.cells.size());
+}
+
+}  // namespace
+}  // namespace lumi::campaign
