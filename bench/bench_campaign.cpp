@@ -2,10 +2,16 @@
 // fixed matrix, and reports the speedup.  Exits nonzero if the parallel run
 // produces a different merged summary than the single-threaded one (the
 // determinism contract).
+//
+// Usage: bench_campaign [--large] [--json PATH]
+// --json writes the measured rates as machine-readable JSON (the campaign
+// companion to BENCH_matching.json).
 #include <cstdio>
+#include <string>
 #include <thread>
 
 #include "src/campaign/campaign.hpp"
+#include "src/trace/report.hpp"
 
 namespace {
 
@@ -30,10 +36,19 @@ int main(int argc, char** argv) {
   matrix.cols = {4, 8, 2};
   matrix.schedulers.assign(std::begin(kAllSchedKinds), std::end(kAllSchedKinds));
   matrix.seeds = {1, 2};
-  if (argc > 1 && std::string(argv[1]) == "--large") {
-    matrix.rows = {4, 16, 4};
-    matrix.cols = {4, 16, 4};
-    matrix.seeds = {1, 2, 3, 4};
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--large") {
+      matrix.rows = {4, 16, 4};
+      matrix.cols = {4, 16, 4};
+      matrix.seeds = {1, 2, 3, 4};
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::printf("usage: bench_campaign [--large] [--json PATH]\n");
+      return 2;
+    }
   }
 
   const Expansion expansion = expand(matrix);
@@ -56,5 +71,24 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("summaries identical across thread counts: yes\n");
+
+  if (!json_path.empty()) {
+    char json[512];
+    std::snprintf(json, sizeof(json),
+                  "{\n"
+                  "  \"jobs\": %zu,\n"
+                  "  \"threads\": %u,\n"
+                  "  \"single_jobs_per_sec\": %.1f,\n"
+                  "  \"parallel_jobs_per_sec\": %.1f,\n"
+                  "  \"parallel_speedup\": %.2f\n"
+                  "}\n",
+                  parallel.jobs, parallel.threads, single_rate, parallel_rate,
+                  parallel_rate / single_rate);
+    if (!lumi::write_text_file(json_path, json)) {
+      std::printf("FAIL: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

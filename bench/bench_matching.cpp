@@ -1,48 +1,146 @@
-// Microbenchmarks of the hot path: snapshotting and guard matching under
-// rotations/reflections.
-#include <benchmark/benchmark.h>
+// Hot-path benchmark: guard matching (naive sparse scan vs. compiled dense
+// tables) and snapshotting over every Table-1 algorithm, plus a small
+// campaign for end-to-end jobs/sec.  Emits machine-readable
+// BENCH_matching.json so the perf trajectory is tracked across PRs, and
+// exits nonzero if the compiled matcher is less than 2x the naive one (the
+// acceptance floor for this optimization).
+//
+// Usage: bench_matching [output.json]   (default: BENCH_matching.json)
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "src/algorithms/algorithms.hpp"
+#include "src/algorithms/registry.hpp"
+#include "src/campaign/campaign.hpp"
 #include "src/core/matching.hpp"
+#include "src/trace/report.hpp"
 
 namespace {
 
 using namespace lumi;
 
-void BM_TakeSnapshot(benchmark::State& state) {
-  const int phi = static_cast<int>(state.range(0));
-  const Grid grid(5, 5);
-  const Configuration c = make_configuration(
-      grid, {{{2, 2}, {Color::G}}, {{2, 3}, {Color::W}}, {{3, 2}, {Color::B}}});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(take_snapshot(c, 0, phi));
-  }
-}
-BENCHMARK(BM_TakeSnapshot)->Arg(1)->Arg(2);
+struct Workload {
+  Algorithm alg;
+  std::shared_ptr<const CompiledAlgorithm> compiled;
+  Configuration config;
+  std::vector<Snapshot> snapshots;  ///< one per robot, pre-taken
+};
 
-void BM_EnabledActions(benchmark::State& state, Algorithm (*factory)()) {
-  const Algorithm alg = factory();
-  const Grid grid(4, 5);
-  const Configuration c = alg.initial_configuration(grid);
-  for (auto _ : state) {
-    for (int i = 0; i < c.num_robots(); ++i) {
-      benchmark::DoNotOptimize(enabled_actions(alg, c, i));
+std::vector<Workload> build_workloads() {
+  std::vector<Workload> out;
+  for (const algorithms::TableEntry& e : algorithms::table1()) {
+    Algorithm alg = e.make();
+    const Grid grid(alg.min_rows + 2, alg.min_cols + 2);
+    Configuration config = alg.initial_configuration(grid);
+    Workload w{std::move(alg), nullptr, std::move(config), {}};
+    w.compiled = CompiledAlgorithm::get(w.alg);
+    for (int r = 0; r < w.config.num_robots(); ++r) {
+      w.snapshots.push_back(take_snapshot(w.config, r, w.alg.phi));
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// ns per enabled_actions evaluation over all workloads and robots.
+template <typename MatchFn>
+double measure_ns_per_match(const std::vector<Workload>& workloads, long iterations,
+                            MatchFn&& match) {
+  long matches = 0;
+  long sink = 0;  // data dependency so the calls cannot be optimized away
+  const auto start = std::chrono::steady_clock::now();
+  for (long it = 0; it < iterations; ++it) {
+    for (const Workload& w : workloads) {
+      for (const Snapshot& snap : w.snapshots) {
+        sink += match(w, snap);
+        matches += 1;
+      }
     }
   }
+  const double elapsed = seconds_since(start);
+  if (sink < 0) std::printf("impossible\n");
+  return elapsed * 1e9 / static_cast<double>(matches);
 }
-BENCHMARK_CAPTURE(BM_EnabledActions, alg1_phi2_chir, algorithms::algorithm1);
-BENCHMARK_CAPTURE(BM_EnabledActions, alg9_phi2_nochir, algorithms::algorithm9);
-BENCHMARK_CAPTURE(BM_EnabledActions, alg10_phi1_chir, algorithms::algorithm10);
-BENCHMARK_CAPTURE(BM_EnabledActions, alg11_phi1_nochir, algorithms::algorithm11);
-
-void BM_IsTerminal(benchmark::State& state) {
-  const Algorithm alg = algorithms::algorithm10();
-  const Grid grid(4, 5);
-  const Configuration c = alg.initial_configuration(grid);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(is_terminal(alg, c));
-  }
-}
-BENCHMARK(BM_IsTerminal);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_matching.json";
+  const std::vector<Workload> workloads = build_workloads();
+  const long iterations = 4000;
+
+  const double naive_ns = measure_ns_per_match(
+      workloads, iterations, [](const Workload& w, const Snapshot& snap) {
+        return static_cast<long>(naive_enabled_actions(w.alg, snap).size());
+      });
+  const double compiled_ns = measure_ns_per_match(
+      workloads, iterations, [](const Workload& w, const Snapshot& snap) {
+        return static_cast<long>(enabled_actions(*w.compiled, snap).size());
+      });
+  const double first_enabled_ns = measure_ns_per_match(
+      workloads, iterations, [](const Workload& w, const Snapshot& snap) {
+        return first_enabled(*w.compiled, snap).has_value() ? 1L : 0L;
+      });
+  const double speedup = naive_ns / compiled_ns;
+
+  // Snapshot cost (phi = 2 dominates real campaigns).
+  const Workload& snap_load = workloads.front();
+  long snap_sink = 0;
+  const long snapshot_reps = 2'000'000;
+  const auto snap_start = std::chrono::steady_clock::now();
+  for (long i = 0; i < snapshot_reps; ++i) {
+    snap_sink += take_snapshot(snap_load.config, 0, 2).cells[0].wall ? 1 : 0;
+  }
+  const double snapshot_ns = seconds_since(snap_start) * 1e9 / snapshot_reps;
+  if (snap_sink < 0) std::printf("impossible\n");
+
+  // End-to-end: a small campaign on all cores.
+  campaign::Matrix matrix;
+  matrix.sections = campaign::paper_sections();
+  matrix.rows = {4, 6, 2};
+  matrix.cols = {4, 6, 2};
+  matrix.schedulers.assign(std::begin(campaign::kAllSchedKinds),
+                           std::end(campaign::kAllSchedKinds));
+  matrix.seeds = {1, 2};
+  const campaign::CampaignSummary summary = campaign::run_campaign(matrix, 0);
+  const double jobs_per_sec = static_cast<double>(summary.jobs) / summary.wall_seconds;
+
+  std::printf("bench_matching (%zu algorithms)\n", workloads.size());
+  std::printf("  naive:         %8.1f ns/match\n", naive_ns);
+  std::printf("  compiled:      %8.1f ns/match  (%.2fx)\n", compiled_ns, speedup);
+  std::printf("  first_enabled: %8.1f ns/match\n", first_enabled_ns);
+  std::printf("  snapshot:      %8.1f ns (phi=2)\n", snapshot_ns);
+  std::printf("  campaign:      %8.1f jobs/s (%zu jobs, %u threads)\n", jobs_per_sec,
+              summary.jobs, summary.threads);
+
+  char json[1024];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "  \"naive_ns_per_match\": %.1f,\n"
+                "  \"compiled_ns_per_match\": %.1f,\n"
+                "  \"first_enabled_ns_per_match\": %.1f,\n"
+                "  \"speedup\": %.2f,\n"
+                "  \"snapshot_ns\": %.1f,\n"
+                "  \"campaign_jobs\": %zu,\n"
+                "  \"campaign_threads\": %u,\n"
+                "  \"campaign_jobs_per_sec\": %.1f\n"
+                "}\n",
+                naive_ns, compiled_ns, first_enabled_ns, speedup, snapshot_ns, summary.jobs,
+                summary.threads, jobs_per_sec);
+  if (!write_text_file(out_path, json)) {
+    std::printf("FAIL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (speedup < 2.0) {
+    std::printf("FAIL: compiled matcher below the 2x acceptance floor\n");
+    return 1;
+  }
+  return 0;
+}

@@ -43,7 +43,8 @@ struct Node {
 class Game {
  public:
   Game(const Algorithm& alg, const Grid& grid, Vec target, long max_states)
-      : alg_(alg), grid_(grid), target_(target), max_states_(max_states) {}
+      : alg_(alg), compiled_(CompiledAlgorithm::get(alg)), grid_(grid), target_(target),
+        max_states_(max_states) {}
 
   AdversaryResult solve() {
     AdversaryResult result;
@@ -116,7 +117,7 @@ class Game {
     std::uint32_t enabled_mask = 0;
     std::vector<int> enabled;
     for (int r = 0; r < static_cast<int>(state.robots.size()); ++r) {
-      actions[static_cast<std::size_t>(r)] = enabled_actions(alg_, config, r);
+      actions[static_cast<std::size_t>(r)] = enabled_actions(*compiled_, config, r);
       if (!actions[static_cast<std::size_t>(r)].empty()) {
         enabled_mask |= 1u << r;
         enabled.push_back(r);
@@ -252,6 +253,7 @@ class Game {
   }
 
   const Algorithm& alg_;
+  std::shared_ptr<const CompiledAlgorithm> compiled_;
   const Grid& grid_;
   Vec target_;
   long max_states_;

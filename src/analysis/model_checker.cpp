@@ -75,7 +75,8 @@ void mark_visited(const Grid& grid, McState& s) {
 class Checker {
  public:
   Checker(const Algorithm& alg, const Grid& grid, CheckModel model, const CheckOptions& opts)
-      : alg_(alg), grid_(grid), model_(model), opts_(opts) {
+      : alg_(alg), compiled_(CompiledAlgorithm::get(alg)), grid_(grid), model_(model),
+        opts_(opts) {
     if (grid.num_nodes() > 64) throw std::invalid_argument("model_check: grid too large (>64)");
   }
 
@@ -187,7 +188,7 @@ class Checker {
     std::vector<int> enabled;
     std::vector<std::vector<Action>> actions(s.robots.size());
     for (int i = 0; i < static_cast<int>(s.robots.size()); ++i) {
-      actions[static_cast<std::size_t>(i)] = enabled_actions(alg_, config, i);
+      actions[static_cast<std::size_t>(i)] = enabled_actions(*compiled_, config, i);
       if (!actions[static_cast<std::size_t>(i)].empty()) enabled.push_back(i);
     }
     std::vector<McState> out;
@@ -253,7 +254,7 @@ class Checker {
           // Look: one successor per distinct enabled behavior (stale-view
           // decisions are modeled by the delay before the later phases).
           for (const Action& a :
-               enabled_actions(alg_, config, static_cast<int>(i))) {
+               enabled_actions(*compiled_, config, static_cast<int>(i))) {
             McState next = s;
             McRobot& nr = next.robots[i];
             nr.phase = McPhase::Decided;
@@ -292,6 +293,7 @@ class Checker {
   }
 
   const Algorithm& alg_;
+  std::shared_ptr<const CompiledAlgorithm> compiled_;
   const Grid& grid_;
   CheckModel model_;
   CheckOptions opts_;

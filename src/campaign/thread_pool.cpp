@@ -1,6 +1,7 @@
 #include "src/campaign/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace lumi {
@@ -33,16 +34,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  pending_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t target = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  // The stop_ check, push and notify all happen under mu_: the destructor
+  // sets stop_ under the same lock, so a task can never slip into the queues
+  // after shutdown started (it would be silently dropped), and a worker
+  // between its (mu_-protected) empty re-scan and work_cv_.wait() cannot
+  // miss both the push and the notify and sleep forever.
+  std::lock_guard lock(mu_);
+  if (stop_) throw std::logic_error("ThreadPool::submit: pool is shutting down");
+  pending_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard lock(queues_[target]->mu);
+    std::lock_guard qlock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
   }
-  // Notify under mu_: a worker between its (mu_-protected) empty re-scan and
-  // work_cv_.wait() would otherwise miss both the push and the notify and
-  // sleep forever.
-  std::lock_guard lock(mu_);
   work_cv_.notify_one();
 }
 
@@ -92,7 +96,6 @@ void ThreadPool::worker_loop(unsigned self) {
       continue;
     }
     std::unique_lock lock(mu_);
-    if (stop_) return;
     // Re-check the deques under mu_: a submit between our scan and this lock
     // would otherwise be missed and its notify lost.
     bool queues_empty = true;
@@ -104,6 +107,9 @@ void ThreadPool::worker_loop(unsigned self) {
       }
     }
     if (!queues_empty) continue;
+    // Check stop_ only once every deque is drained: shutdown must run all
+    // queued work (and bring pending_ to zero), not drop it.
+    if (stop_) return;
     work_cv_.wait(lock);
   }
 }

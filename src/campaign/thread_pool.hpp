@@ -21,6 +21,8 @@ class ThreadPool {
   /// `threads == 0` sizes the pool to std::thread::hardware_concurrency()
   /// (never fewer than one worker).
   explicit ThreadPool(unsigned threads = 0);
+  /// Drains: every task already submitted runs to completion before the
+  /// workers exit.  Tasks are never silently dropped.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -28,7 +30,8 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Enqueues a task; distributed round-robin across worker deques.
+  /// Enqueues a task; distributed round-robin across worker deques.  Throws
+  /// std::logic_error once shutdown has begun (fail loudly, never drop).
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has completed.

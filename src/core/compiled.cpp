@@ -1,0 +1,80 @@
+#include "src/core/compiled.hpp"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace lumi {
+
+namespace {
+
+/// Exact structural key of everything matching semantics depend on.  Binary
+/// serialization (not to_string) so distinct rule sets can never collide.
+std::string matcher_fingerprint(const Algorithm& alg) {
+  std::string fp;
+  fp.reserve(16 + alg.rules.size() * 64);
+  auto byte = [&fp](int v) { fp.push_back(static_cast<char>(v)); };
+  auto word = [&fp](std::uint16_t v) {
+    fp.push_back(static_cast<char>(v & 0xFF));
+    fp.push_back(static_cast<char>(v >> 8));
+  };
+  byte(alg.phi);
+  byte(static_cast<int>(alg.chirality));
+  for (const Rule& rule : alg.rules) {
+    byte(static_cast<int>(rule.self));
+    byte(static_cast<int>(rule.new_color));
+    byte(rule.move.has_value() ? 1 + static_cast<int>(*rule.move) : 0);
+    byte(static_cast<int>(rule.cells.size()));
+    for (const auto& [offset, pattern] : rule.cells) {
+      byte(offset.row + kMaxPhi);
+      byte(offset.col + kMaxPhi);
+      byte(static_cast<int>(pattern.kind()));
+      word(pattern.multiset().raw());
+    }
+  }
+  return fp;
+}
+
+}  // namespace
+
+CompiledAlgorithm::CompiledAlgorithm(const Algorithm& alg)
+    : phi_(alg.phi),
+      kernel_size_(ViewKernel::get(alg.phi).size()),
+      syms_(alg.symmetries()) {
+  const ViewKernel& kernel = ViewKernel::get(phi_);
+  const std::span<const Vec> offsets = kernel.offsets();
+  const std::size_t ks = static_cast<std::size_t>(kernel_size_);
+  for (std::size_t ri = 0; ri < alg.rules.size(); ++ri) {
+    const Rule& rule = alg.rules[ri];
+    CompiledRule compiled;
+    compiled.rule_index = static_cast<int>(ri);
+    compiled.new_color = rule.new_color;
+    compiled.patterns.resize(syms_.size() * ks);  // default: implicit gray
+    for (std::size_t s = 0; s < syms_.size(); ++s) {
+      const Sym sym = syms_[s];
+      const std::span<const std::uint8_t> perm = kernel.permutation(sym);
+      // The naive matcher checks pattern_at(offsets[i]) against the cell at
+      // index_of(apply(sym, offsets[i])); the permutation is a bijection, so
+      // scattering each pattern to its world slot yields the dense row.
+      for (std::size_t i = 0; i < ks; ++i) {
+        compiled.patterns[s * ks + perm[i]] = rule.pattern_at(offsets[i]);
+      }
+      compiled.move_by_sym[s] =
+          rule.move.has_value() ? static_cast<std::int8_t>(apply(sym, *rule.move))
+                                : static_cast<std::int8_t>(-1);
+    }
+    by_color_[static_cast<std::size_t>(rule.self)].push_back(std::move(compiled));
+  }
+}
+
+std::shared_ptr<const CompiledAlgorithm> CompiledAlgorithm::get(const Algorithm& alg) {
+  static std::mutex mu;
+  static std::unordered_map<std::string, std::shared_ptr<const CompiledAlgorithm>> cache;
+  const std::string key = matcher_fingerprint(alg);
+  std::lock_guard lock(mu);
+  std::shared_ptr<const CompiledAlgorithm>& slot = cache[key];
+  if (!slot) slot = std::make_shared<const CompiledAlgorithm>(alg);
+  return slot;
+}
+
+}  // namespace lumi

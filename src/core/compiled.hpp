@@ -1,0 +1,68 @@
+// Compiled matcher: an Algorithm's sparse guards flattened, once, into dense
+// kernel-indexed pattern tables so the match inner loop is a straight sweep
+// over snapshot cells — no index_of scans, no Rule::pattern_at lookups, no
+// per-symmetry offset mapping at match time.
+//
+// For each rule and each admissible symmetry s the compiler stores a row of
+// kernel_size() CellPatterns such that
+//
+//   guard matches under s  <=>  row[w].matches(snapshot.cells[w]) for all w,
+//
+// together with the rule's movement premapped into the global frame through
+// s.  Rules are grouped by their required self color so matching touches
+// only candidates that can possibly fire.  Compilations are cached by a
+// structural fingerprint (phi, chirality, rules) and shared read-only across
+// threads, so every campaign job running the same algorithm reuses one
+// compilation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/algorithm.hpp"
+#include "src/core/view.hpp"
+
+namespace lumi {
+
+/// One rule compiled against the view kernel.  Field order mirrors Action
+/// construction in the matcher.
+struct CompiledRule {
+  int rule_index = -1;      ///< index into the source Algorithm::rules
+  Color new_color = Color::G;
+  /// Dense guard rows: patterns[s * kernel_size + w] constrains snapshot
+  /// cell w under the s-th admissible symmetry.
+  std::vector<CellPattern> patterns;
+  /// Movement premapped to the global frame per symmetry; -1 = stay.
+  std::array<std::int8_t, 8> move_by_sym{};
+};
+
+class CompiledAlgorithm {
+ public:
+  explicit CompiledAlgorithm(const Algorithm& alg);
+
+  /// Compiles `alg` or returns the shared cached compilation.  Two
+  /// algorithms with identical matching semantics (same phi, chirality and
+  /// rule list) share one entry; the cache is thread-safe and the returned
+  /// object immutable.
+  static std::shared_ptr<const CompiledAlgorithm> get(const Algorithm& alg);
+
+  int phi() const { return phi_; }
+  int kernel_size() const { return kernel_size_; }
+  /// The admissible symmetries, in the same order as Algorithm::symmetries().
+  std::span<const Sym> symmetries() const { return syms_; }
+  /// Rules whose self color is `self`, preserving source rule order.
+  std::span<const CompiledRule> rules_for(Color self) const {
+    return by_color_[static_cast<std::size_t>(self)];
+  }
+
+ private:
+  int phi_;
+  int kernel_size_;
+  std::span<const Sym> syms_;
+  std::array<std::vector<CompiledRule>, kMaxColors> by_color_;
+};
+
+}  // namespace lumi

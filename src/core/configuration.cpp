@@ -7,9 +7,12 @@
 namespace lumi {
 
 Configuration::Configuration(Grid grid, std::vector<Robot> robots)
-    : grid_(grid), robots_(std::move(robots)) {
+    : grid_(grid),
+      robots_(std::move(robots)),
+      occupancy_(static_cast<std::size_t>(grid_.num_nodes())) {
   for (const Robot& r : robots_) {
     if (!grid_.contains(r.pos)) throw std::invalid_argument("robot placed outside the grid");
+    occupancy_[static_cast<std::size_t>(grid_.index(r.pos))].add(r.color);
   }
 }
 
@@ -17,20 +20,11 @@ void Configuration::move_robot(int i, Vec to) {
   Robot& r = robots_.at(static_cast<std::size_t>(i));
   if (!grid_.contains(to)) throw std::logic_error("move_robot: target outside the grid");
   if (manhattan(r.pos, to) != 1) throw std::logic_error("move_robot: target not adjacent");
+  // Add before remove: add can throw (destination stack overflow) and must
+  // do so before any state changed; removing a present color cannot throw.
+  occupancy_[static_cast<std::size_t>(grid_.index(to))].add(r.color);
+  occupancy_[static_cast<std::size_t>(grid_.index(r.pos))].remove(r.color);
   r.pos = to;
-}
-
-ColorMultiset Configuration::multiset_at(Vec v) const {
-  ColorMultiset ms;
-  for (const Robot& r : robots_) {
-    if (r.pos == v) ms.add(r.color);
-  }
-  return ms;
-}
-
-CellContent Configuration::cell(Vec v) const {
-  if (!grid_.contains(v)) return CellContent{.wall = true, .robots = {}};
-  return CellContent{.wall = false, .robots = multiset_at(v)};
 }
 
 std::vector<Robot> Configuration::canonical_robots() const {

@@ -3,6 +3,10 @@
 // Robots are anonymous in the model, but the simulator tracks them by index
 // so that the ASYNC engine can attribute pending phases.  Canonical listing /
 // hashing treat robots as interchangeable.
+//
+// The configuration keeps a grid-indexed occupancy array incrementally
+// up to date in move_robot/set_color, so cell() and multiset_at() — the
+// snapshot hot path — are O(1) lookups instead of O(robots) scans.
 #pragma once
 
 #include <cstdint>
@@ -39,15 +43,32 @@ class Configuration {
   const Robot& robot(int i) const { return robots_.at(static_cast<std::size_t>(i)); }
   const std::vector<Robot>& robots() const { return robots_; }
 
-  void set_color(int i, Color c) { robots_.at(static_cast<std::size_t>(i)).color = c; }
+  void set_color(int i, Color c) {
+    Robot& r = robots_.at(static_cast<std::size_t>(i));
+    if (c == r.color) return;
+    ColorMultiset& node = occupancy_[static_cast<std::size_t>(grid_.index(r.pos))];
+    // Add before remove: add can throw (per-color counter overflow) and must
+    // do so before any state changed; removing a present color cannot throw.
+    node.add(c);
+    node.remove(r.color);
+    r.color = c;
+  }
   /// Moves robot `i` to `to`; throws std::logic_error if `to` is off-grid or
   /// not adjacent to the robot's current node (robots move along edges).
   void move_robot(int i, Vec to);
 
   /// Multiset of colors on node v (empty when unoccupied).
-  ColorMultiset multiset_at(Vec v) const;
+  const ColorMultiset& multiset_at(Vec v) const {
+    static constexpr ColorMultiset kEmpty;
+    if (!grid_.contains(v)) return kEmpty;
+    return occupancy_[static_cast<std::size_t>(grid_.index(v))];
+  }
   /// Cell content including walls for off-grid v.
-  CellContent cell(Vec v) const;
+  CellContent cell(Vec v) const {
+    if (!grid_.contains(v)) return CellContent{.wall = true, .robots = {}};
+    return CellContent{.wall = false,
+                       .robots = occupancy_[static_cast<std::size_t>(grid_.index(v))]};
+  }
   bool occupied(Vec v) const { return !multiset_at(v).empty(); }
 
   /// Robots sorted by (pos, color): configurations that are equal as
@@ -63,6 +84,8 @@ class Configuration {
  private:
   Grid grid_;
   std::vector<Robot> robots_;
+  /// Node-indexed color multisets, maintained incrementally.
+  std::vector<ColorMultiset> occupancy_;
 };
 
 /// Convenience: builds a configuration from (node, colors...) placements.

@@ -1,6 +1,100 @@
 #include "src/core/matching.hpp"
 
+#include <stdexcept>
+
 namespace lumi {
+
+namespace {
+
+/// The compiled tables are dense over the algorithm's own kernel; a snapshot
+/// taken at a different phi would leave unfilled cells readable.
+void check_phi(const CompiledAlgorithm& alg, const Snapshot& snap) {
+  if (snap.phi != alg.phi()) {
+    throw std::invalid_argument("matching: snapshot phi differs from the algorithm's phi");
+  }
+}
+
+/// Sweeps one dense guard row against the snapshot cells.
+bool row_matches(const CellPattern* row, const Snapshot& snap, int kernel_size) {
+  for (int w = 0; w < kernel_size; ++w) {
+    if (!row[w].matches(snap.cells[static_cast<std::size_t>(w)])) return false;
+  }
+  return true;
+}
+
+Action make_action(const CompiledRule& rule, std::span<const Sym> syms, std::size_t s) {
+  Action act;
+  act.new_color = rule.new_color;
+  act.move = rule.move_by_sym[s] >= 0
+                 ? std::optional<Dir>(static_cast<Dir>(rule.move_by_sym[s]))
+                 : std::nullopt;
+  act.rule_index = rule.rule_index;
+  act.sym = syms[s];
+  return act;
+}
+
+}  // namespace
+
+// --- compiled fast path ------------------------------------------------------
+
+std::vector<Action> enabled_actions(const CompiledAlgorithm& alg, const Snapshot& snap) {
+  check_phi(alg, snap);
+  std::vector<Action> out;
+  const int ks = alg.kernel_size();
+  const std::span<const Sym> syms = alg.symmetries();
+  for (const CompiledRule& rule : alg.rules_for(snap.self_color)) {
+    const CellPattern* row = rule.patterns.data();
+    for (std::size_t s = 0; s < syms.size(); ++s, row += ks) {
+      if (!row_matches(row, snap, ks)) continue;
+      const Action act = make_action(rule, syms, s);
+      bool duplicate = false;
+      for (const Action& existing : out) {
+        if (existing.same_behavior(act)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) out.push_back(act);
+    }
+  }
+  return out;
+}
+
+std::vector<Action> enabled_actions(const CompiledAlgorithm& alg, const Configuration& config,
+                                    int robot) {
+  return enabled_actions(alg, take_snapshot(config, robot, alg.phi()));
+}
+
+std::optional<Action> first_enabled(const CompiledAlgorithm& alg, const Snapshot& snap) {
+  check_phi(alg, snap);
+  const int ks = alg.kernel_size();
+  const std::span<const Sym> syms = alg.symmetries();
+  for (const CompiledRule& rule : alg.rules_for(snap.self_color)) {
+    const CellPattern* row = rule.patterns.data();
+    for (std::size_t s = 0; s < syms.size(); ++s, row += ks) {
+      if (row_matches(row, snap, ks)) return make_action(rule, syms, s);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Action> first_enabled(const CompiledAlgorithm& alg, const Configuration& config,
+                                    int robot) {
+  return first_enabled(alg, take_snapshot(config, robot, alg.phi()));
+}
+
+bool is_enabled(const CompiledAlgorithm& alg, const Configuration& config, int robot) {
+  return first_enabled(alg, take_snapshot(config, robot, alg.phi())).has_value();
+}
+
+bool is_terminal(const CompiledAlgorithm& alg, const Configuration& config) {
+  for (int i = 0; i < config.num_robots(); ++i) {
+    if (is_enabled(alg, config, i)) return false;
+  }
+  return true;
+}
+
+// --- naive reference matcher -------------------------------------------------
 
 bool guard_matches(const Rule& rule, const Snapshot& snap, Sym sym) {
   if (rule.self != snap.self_color) return false;
@@ -17,7 +111,7 @@ bool guard_matches(const Rule& rule, const Snapshot& snap, Sym sym) {
   return true;
 }
 
-std::vector<Action> enabled_actions(const Algorithm& alg, const Snapshot& snap) {
+std::vector<Action> naive_enabled_actions(const Algorithm& alg, const Snapshot& snap) {
   std::vector<Action> out;
   for (std::size_t ri = 0; ri < alg.rules.size(); ++ri) {
     const Rule& rule = alg.rules[ri];
@@ -43,20 +137,23 @@ std::vector<Action> enabled_actions(const Algorithm& alg, const Snapshot& snap) 
   return out;
 }
 
+// --- Algorithm-level conveniences --------------------------------------------
+
+std::vector<Action> enabled_actions(const Algorithm& alg, const Snapshot& snap) {
+  return enabled_actions(*CompiledAlgorithm::get(alg), snap);
+}
+
 std::vector<Action> enabled_actions(const Algorithm& alg, const Configuration& config,
                                     int robot) {
   return enabled_actions(alg, take_snapshot(config, robot, alg.phi));
 }
 
 bool is_enabled(const Algorithm& alg, const Configuration& config, int robot) {
-  return !enabled_actions(alg, config, robot).empty();
+  return is_enabled(*CompiledAlgorithm::get(alg), config, robot);
 }
 
 bool is_terminal(const Algorithm& alg, const Configuration& config) {
-  for (int i = 0; i < config.num_robots(); ++i) {
-    if (is_enabled(alg, config, i)) return false;
-  }
-  return true;
+  return is_terminal(*CompiledAlgorithm::get(alg), config);
 }
 
 }  // namespace lumi

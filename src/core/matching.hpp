@@ -7,12 +7,20 @@
 // carries the movement mapped back into the global frame.  When several
 // (view, rule) combinations match, the scheduler picks one (Section 2.2 of
 // the paper) — callers receive all distinct behaviors.
+//
+// Two implementations coexist: the CompiledAlgorithm fast path (dense
+// kernel-indexed tables, used by the engines/runner/checkers) and the naive
+// sparse-scan reference the fast path is differentially tested against.
+// The Algorithm-level overloads route through the compiled cache, so every
+// caller gets the fast path; hot loops should obtain the CompiledAlgorithm
+// once via CompiledAlgorithm::get and use it directly.
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "src/core/algorithm.hpp"
+#include "src/core/compiled.hpp"
 #include "src/core/view.hpp"
 
 namespace lumi {
@@ -31,11 +39,37 @@ struct Action {
   }
 };
 
-/// True if the snapshot matches `rule` through symmetry `sym`.
-bool guard_matches(const Rule& rule, const Snapshot& snap, Sym sym);
+// --- compiled fast path ------------------------------------------------------
 
 /// All behaviorally distinct actions enabled for the snapshot (at most one
-/// per (new_color, move) pair; `rule_index`/`sym` identify one witness).
+/// per (new_color, move) pair; `rule_index`/`sym` identify the first witness
+/// in rule-then-symmetry order, identical to the naive reference).
+std::vector<Action> enabled_actions(const CompiledAlgorithm& alg, const Snapshot& snap);
+std::vector<Action> enabled_actions(const CompiledAlgorithm& alg, const Configuration& config,
+                                    int robot);
+
+/// First enabled action in rule-then-symmetry order, or nullopt when the
+/// robot is disabled.  Allocation-free: no action vector is built.
+std::optional<Action> first_enabled(const CompiledAlgorithm& alg, const Snapshot& snap);
+std::optional<Action> first_enabled(const CompiledAlgorithm& alg, const Configuration& config,
+                                    int robot);
+
+bool is_enabled(const CompiledAlgorithm& alg, const Configuration& config, int robot);
+
+/// True when no robot is enabled (a terminal configuration for FSYNC/SSYNC).
+bool is_terminal(const CompiledAlgorithm& alg, const Configuration& config);
+
+// --- naive reference matcher -------------------------------------------------
+
+/// True if the snapshot matches `rule` through symmetry `sym` (sparse scan;
+/// the reference semantics the compiled matcher is tested against).
+bool guard_matches(const Rule& rule, const Snapshot& snap, Sym sym);
+
+/// Reference implementation of enabled_actions via guard_matches.
+std::vector<Action> naive_enabled_actions(const Algorithm& alg, const Snapshot& snap);
+
+// --- Algorithm-level conveniences (routed through the compiled cache) --------
+
 std::vector<Action> enabled_actions(const Algorithm& alg, const Snapshot& snap);
 
 /// Convenience overload snapshotting the live configuration.

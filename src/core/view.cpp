@@ -4,20 +4,24 @@
 
 namespace lumi {
 
-ViewKernel::ViewKernel(int phi) : phi_(phi) {
+ViewKernel::ViewKernel(int phi) : phi_(phi), dim_(2 * phi + 1) {
   if (phi < 1 || phi > kMaxPhi) throw std::invalid_argument("ViewKernel: phi must be 1 or 2");
+  dense_.fill(-1);
   for (int dr = -phi; dr <= phi; ++dr) {
     for (int dc = -phi; dc <= phi; ++dc) {
-      if (std::abs(dr) + std::abs(dc) <= phi) offsets_.push_back(Vec{dr, dc});
+      if (std::abs(dr) + std::abs(dc) > phi) continue;
+      dense_[static_cast<std::size_t>((dr + phi) * dim_ + (dc + phi))] =
+          static_cast<std::int8_t>(offsets_.size());
+      offsets_.push_back(Vec{dr, dc});
     }
   }
-}
-
-int ViewKernel::index_of(Vec offset) const {
-  for (int i = 0; i < size(); ++i) {
-    if (offsets_[static_cast<std::size_t>(i)] == offset) return i;
+  for (Sym g : all_symmetries()) {
+    auto& row = perm_[static_cast<std::size_t>(sym_slot(g))];
+    for (int i = 0; i < size(); ++i) {
+      row[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(index_of(apply(g, offsets_[static_cast<std::size_t>(i)])));
+    }
   }
-  return -1;
 }
 
 const ViewKernel& ViewKernel::get(int phi) {
@@ -41,8 +45,10 @@ Snapshot take_snapshot(const Configuration& config, int robot, int phi) {
   snap.origin = r.pos;
   snap.self_color = r.color;
   snap.phi = phi;
-  snap.cells.reserve(static_cast<std::size_t>(kernel.size()));
-  for (Vec offset : kernel.offsets()) snap.cells.push_back(config.cell(r.pos + offset));
+  const std::span<const Vec> offsets = kernel.offsets();
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    snap.cells[i] = config.cell(r.pos + offsets[i]);
+  }
   return snap;
 }
 

@@ -4,8 +4,15 @@
 // Manhattan distance phi of the robot.  Rule matching later re-reads the
 // snapshot through candidate symmetries, which models the robot not knowing
 // which of the 4 (or 8) possible local frames its view is expressed in.
+//
+// This is the innermost data structure of the simulator: campaign sweeps
+// take and match millions of snapshots, so the kernel precomputes an O(1)
+// offset->index map and per-symmetry permutation tables, and snapshots live
+// entirely in a fixed-capacity inline buffer (no heap allocation).
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -15,6 +22,8 @@
 namespace lumi {
 
 inline constexpr int kMaxPhi = 2;
+/// Largest view kernel: the L1 ball of radius kMaxPhi has 13 cells.
+inline constexpr int kMaxKernelSize = 13;
 
 /// Canonical, symmetric set of offsets at Manhattan distance <= phi,
 /// row-major sorted.  phi=1 -> 5 cells, phi=2 -> 13 cells.
@@ -25,23 +34,45 @@ class ViewKernel {
   int phi() const { return phi_; }
   std::span<const Vec> offsets() const { return offsets_; }
   int size() const { return static_cast<int>(offsets_.size()); }
-  /// Index of `offset` in offsets(); -1 when outside the kernel.
-  int index_of(Vec offset) const;
+
+  /// Index of `offset` in offsets(); -1 when outside the kernel.  O(1): a
+  /// dense (2*phi+1)^2 table lookup instead of a scan.
+  int index_of(Vec offset) const {
+    if (offset.row < -phi_ || offset.row > phi_ || offset.col < -phi_ || offset.col > phi_) {
+      return -1;
+    }
+    return dense_[static_cast<std::size_t>((offset.row + phi_) * dim_ + (offset.col + phi_))];
+  }
+
+  /// Stable slot of a symmetry in [0, 8) used to address permutation tables.
+  static constexpr int sym_slot(Sym g) { return g.rot + (g.mirror ? 4 : 0); }
+
+  /// Precomputed permutation of kernel indices under `g`:
+  /// permutation(g)[i] == index_of(apply(g, offsets()[i])).  The kernel is
+  /// closed under D4, so every entry is a valid index.
+  std::span<const std::uint8_t> permutation(Sym g) const {
+    return {perm_[static_cast<std::size_t>(sym_slot(g))].data(), offsets_.size()};
+  }
 
   /// Shared immutable kernels (phi in {1, 2}).
   static const ViewKernel& get(int phi);
 
  private:
   int phi_;
+  int dim_;  ///< 2*phi + 1, the side of the dense offset table
   std::vector<Vec> offsets_;
+  std::array<std::int8_t, (2 * kMaxPhi + 1) * (2 * kMaxPhi + 1)> dense_{};
+  std::array<std::array<std::uint8_t, kMaxKernelSize>, 8> perm_{};
 };
 
-/// Immutable snapshot around one robot, taken in the global frame.
+/// Immutable snapshot around one robot, taken in the global frame.  Cells
+/// live inline (kernel size <= kMaxKernelSize): snapshots are stack objects
+/// with zero heap traffic.
 struct Snapshot {
-  Vec origin;                       ///< robot position when the Look happened
+  Vec origin;                      ///< robot position when the Look happened
   Color self_color = Color::G;     ///< robot's own light at Look time
   int phi = 1;
-  std::vector<CellContent> cells;  ///< kernel order for ViewKernel::get(phi)
+  std::array<CellContent, kMaxKernelSize> cells{};  ///< kernel order for ViewKernel::get(phi)
 
   /// Content at `offset` from origin (kernel coordinates, global frame).
   const CellContent& at(Vec offset) const;

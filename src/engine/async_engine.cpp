@@ -6,6 +6,7 @@ namespace lumi {
 
 AsyncEngine::AsyncEngine(const Algorithm& alg, Configuration initial)
     : alg_(&alg),
+      compiled_(CompiledAlgorithm::get(alg)),
       config_(std::move(initial)),
       phases_(static_cast<std::size_t>(config_.num_robots()), Phase::Idle),
       pending_(static_cast<std::size_t>(config_.num_robots())) {}
@@ -18,14 +19,14 @@ const Action& AsyncEngine::pending(int robot) const {
 std::vector<int> AsyncEngine::effective_robots() const {
   std::vector<int> out;
   for (int i = 0; i < config_.num_robots(); ++i) {
-    if (phase(i) != Phase::Idle || is_enabled(*alg_, config_, i)) out.push_back(i);
+    if (phase(i) != Phase::Idle || is_enabled(*compiled_, config_, i)) out.push_back(i);
   }
   return out;
 }
 
 std::vector<Action> AsyncEngine::look_choices(int robot) const {
   if (phase(robot) != Phase::Idle) throw std::logic_error("look_choices: robot mid-cycle");
-  return enabled_actions(*alg_, config_, robot);
+  return enabled_actions(*compiled_, config_, robot);
 }
 
 void AsyncEngine::activate(int robot, std::optional<Action> chosen) {
@@ -34,10 +35,48 @@ void AsyncEngine::activate(int robot, std::optional<Action> chosen) {
     case Phase::Idle: {
       const std::vector<Action> choices = look_choices(robot);
       if (choices.empty()) return;  // vacuous cycle, unobservable
-      Action decision = chosen.value_or(choices.front());
+      const Action decision = chosen.value_or(choices.front());
+      // Choices are deduplicated by behavior, so at most one can match.
       bool valid = false;
-      for (const Action& c : choices) valid = valid || c.same_behavior(decision);
+      bool canonical_witness = false;
+      for (const Action& c : choices) {
+        if (c.same_behavior(decision)) {
+          valid = true;
+          canonical_witness = c.rule_index == decision.rule_index && c.sym == decision.sym;
+          break;
+        }
+      }
       if (!valid) throw std::logic_error("activate: chosen action is not enabled");
+      // A caller-supplied witness must itself derive the behavior it claims:
+      // the rule must exist, its symmetry must be admissible, its guard must
+      // match under that symmetry, and the rule's action mapped through it
+      // must reproduce the decision.  Actions taken verbatim from
+      // look_choices carry the canonical witness and skip this re-check, so
+      // the scheduler-driven hot path pays nothing for it.
+      if (chosen.has_value() && chosen->rule_index >= 0 && !canonical_witness) {
+        if (static_cast<std::size_t>(chosen->rule_index) >= alg_->rules.size()) {
+          throw std::logic_error("activate: chosen action names a nonexistent rule");
+        }
+        const Rule& rule = alg_->rules[static_cast<std::size_t>(chosen->rule_index)];
+        bool admissible = false;
+        for (Sym sym : alg_->symmetries()) {
+          if (sym == chosen->sym) {
+            admissible = true;
+            break;
+          }
+        }
+        if (!admissible) {
+          throw std::logic_error("activate: chosen action's symmetry is not admissible");
+        }
+        const Snapshot snap = take_snapshot(config_, robot, alg_->phi);
+        const std::optional<Dir> mapped_move =
+            rule.move.has_value() ? std::optional<Dir>(apply(chosen->sym, *rule.move))
+                                  : std::nullopt;
+        if (!guard_matches(rule, snap, chosen->sym) || rule.new_color != chosen->new_color ||
+            mapped_move != chosen->move) {
+          throw std::logic_error("activate: chosen action's rule/sym witness is inconsistent");
+        }
+      }
       pending_[static_cast<std::size_t>(robot)] = decision;
       phase = Phase::Decided;
       return;
@@ -68,7 +107,7 @@ bool AsyncEngine::terminal() const {
   for (int i = 0; i < config_.num_robots(); ++i) {
     if (phase(i) != Phase::Idle) return false;
   }
-  return is_terminal(*alg_, config_);
+  return is_terminal(*compiled_, config_);
 }
 
 }  // namespace lumi

@@ -42,9 +42,10 @@ class AsyncEngine {
   /// Choices available to an Idle robot's Look (distinct enabled behaviors).
   std::vector<Action> look_choices(int robot) const;
 
-  /// Activates one event of `robot`.  For an Idle robot, `chosen` must be one
-  /// of look_choices(robot) (defaults to the first).  For robots mid-cycle
-  /// `chosen` must be empty.
+  /// Activates one event of `robot`.  For an Idle robot, `chosen` must match
+  /// one of look_choices(robot) behaviorally (defaults to the first), and a
+  /// non-negative `rule_index`/`sym` witness must consistently derive that
+  /// behavior.  For robots mid-cycle `chosen` must be empty.
   void activate(int robot, std::optional<Action> chosen = std::nullopt);
 
   /// Terminal: every robot Idle and none enabled — the execution is maximal.
@@ -52,6 +53,7 @@ class AsyncEngine {
 
  private:
   const Algorithm* alg_;
+  std::shared_ptr<const CompiledAlgorithm> compiled_;
   Configuration config_;
   std::vector<Phase> phases_;
   std::vector<Action> pending_;

@@ -29,6 +29,8 @@ std::string describe(const Algorithm& alg, const RobotAction& ra) {
 
 RunResult run_sync(const Algorithm& alg, const Grid& grid, SyncScheduler& sched,
                    const RunOptions& opts) {
+  // Compile the matcher once per run; every instant reuses the shared tables.
+  const std::shared_ptr<const CompiledAlgorithm> compiled = CompiledAlgorithm::get(alg);
   Configuration config = alg.initial_configuration(grid);
   RunResult result;
   result.visited.assign(static_cast<std::size_t>(grid.num_nodes()), false);
@@ -36,7 +38,7 @@ RunResult run_sync(const Algorithm& alg, const Grid& grid, SyncScheduler& sched,
   if (opts.record_trace) result.trace.push(config, "initial");
 
   for (long step = 0; step < opts.max_steps; ++step) {
-    const auto enabled = all_enabled_actions(alg, config);
+    const auto enabled = all_enabled_actions(*compiled, config);
     bool any_enabled = false;
     for (const auto& actions : enabled) {
       any_enabled = any_enabled || !actions.empty();

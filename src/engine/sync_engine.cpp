@@ -34,12 +34,17 @@ void apply_sync_step(Configuration& config, std::span<const RobotAction> actions
   }
 }
 
-std::vector<std::vector<Action>> all_enabled_actions(const Algorithm& alg,
+std::vector<std::vector<Action>> all_enabled_actions(const CompiledAlgorithm& alg,
                                                      const Configuration& config) {
   std::vector<std::vector<Action>> out;
   out.reserve(static_cast<std::size_t>(config.num_robots()));
   for (int i = 0; i < config.num_robots(); ++i) out.push_back(enabled_actions(alg, config, i));
   return out;
+}
+
+std::vector<std::vector<Action>> all_enabled_actions(const Algorithm& alg,
+                                                     const Configuration& config) {
+  return all_enabled_actions(*CompiledAlgorithm::get(alg), config);
 }
 
 }  // namespace lumi

@@ -23,6 +23,8 @@ struct RobotAction {
 void apply_sync_step(Configuration& config, std::span<const RobotAction> actions);
 
 /// Distinct enabled behaviors for every robot (empty vector = disabled).
+std::vector<std::vector<Action>> all_enabled_actions(const CompiledAlgorithm& alg,
+                                                     const Configuration& config);
 std::vector<std::vector<Action>> all_enabled_actions(const Algorithm& alg,
                                                      const Configuration& config);
 

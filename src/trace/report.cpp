@@ -52,6 +52,46 @@ void json_accumulator(std::ostringstream& out, const CellAccumulator& acc, const
 
 }  // namespace
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  return out;
+}
+
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += '"';
+  return out;
+}
+
 std::string campaign_csv(const campaign::CampaignSummary& summary) {
   std::ostringstream out;
   out << "section,rows,cols,sched,runs,terminated,explored_all,failures,"
@@ -63,8 +103,8 @@ std::string campaign_csv(const campaign::CampaignSummary& summary) {
          "visited_mean,visited_min,visited_max\n";
   for (const CellSummary& cell : summary.cells) {
     const CellAccumulator& a = cell.acc;
-    out << cell.cell.section << ',' << cell.cell.rows << ',' << cell.cell.cols << ','
-        << to_string(cell.cell.sched) << ',' << a.runs << ',' << a.terminated << ','
+    out << csv_field(cell.cell.section) << ',' << cell.cell.rows << ',' << cell.cell.cols << ','
+        << csv_field(to_string(cell.cell.sched)) << ',' << a.runs << ',' << a.terminated << ','
         << a.explored_all << ',' << a.failures << ',' << fmt_double(a.termination_rate()) << ','
         << fmt_double(a.exploration_rate());
     csv_stat_columns(out, a.instants);
@@ -87,10 +127,10 @@ std::string campaign_json(const campaign::CampaignSummary& summary) {
   for (std::size_t i = 0; i < summary.cells.size(); ++i) {
     const CellSummary& cell = summary.cells[i];
     out << "    {\n";
-    out << "      \"section\": \"" << cell.cell.section << "\",\n";
+    out << "      \"section\": \"" << json_escape(cell.cell.section) << "\",\n";
     out << "      \"rows\": " << cell.cell.rows << ",\n";
     out << "      \"cols\": " << cell.cell.cols << ",\n";
-    out << "      \"sched\": \"" << to_string(cell.cell.sched) << "\",\n";
+    out << "      \"sched\": \"" << json_escape(to_string(cell.cell.sched)) << "\",\n";
     out << "      \"summary\": ";
     json_accumulator(out, cell.acc, "      ");
     out << "\n    }" << (i + 1 < summary.cells.size() ? "," : "") << "\n";

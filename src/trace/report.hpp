@@ -9,6 +9,14 @@
 
 namespace lumi {
 
+/// Escapes `s` for embedding inside a JSON string literal (RFC 8259):
+/// quote, backslash and control characters.
+std::string json_escape(const std::string& s);
+
+/// Renders `s` as an RFC-4180 CSV field: quoted (with inner quotes doubled)
+/// iff it contains a comma, quote, CR or LF; returned verbatim otherwise.
+std::string csv_field(const std::string& s);
+
 /// CSV with a header row and one row per cell.
 std::string campaign_csv(const campaign::CampaignSummary& summary);
 

@@ -40,6 +40,28 @@ TEST(ThreadPool, WorkerIndexIsStableAndBounded) {
   EXPECT_EQ(bad.load(), 0);
 }
 
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  // Regression: shutdown used to drop still-queued tasks (workers exited on
+  // stop_ before re-checking the deques), leaving pending_ nonzero.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    std::atomic<bool> release{false};
+    // Park both workers so the remaining submissions pile up queued.
+    for (unsigned i = 0; i < pool.size(); ++i) {
+      pool.submit([&release] {
+        while (!release.load()) std::this_thread::yield();
+      });
+    }
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    release.store(true);
+    // No wait_idle(): the destructor itself must run everything.
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
 TEST(ThreadPool, WaitIdleIsReusable) {
   ThreadPool pool(2);
   pool.wait_idle();  // no tasks: returns immediately

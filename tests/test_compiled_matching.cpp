@@ -1,0 +1,106 @@
+// Differential test: the compiled matcher must produce exactly the same
+// enabled-action sets as the naive sparse-scan reference — same behaviors,
+// same order, same (rule_index, sym) witnesses — for every Table-1 algorithm
+// over randomized configurations (random positions incl. stacks, random
+// colors, walls in view near borders).  This pins the compiled hot path to
+// the reference semantics.
+#include "src/core/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/algorithms/registry.hpp"
+
+namespace lumi {
+namespace {
+
+bool same_action(const Action& a, const Action& b) {
+  return a.new_color == b.new_color && a.move == b.move && a.rule_index == b.rule_index &&
+         a.sym == b.sym;
+}
+
+TEST(CompiledMatcher, MatchesNaiveOnRandomConfigurations) {
+  std::mt19937 rng(20260729);
+  for (const algorithms::TableEntry& e : algorithms::table1()) {
+    const Algorithm alg = e.make();
+    const std::shared_ptr<const CompiledAlgorithm> compiled = CompiledAlgorithm::get(alg);
+    // Small grids keep walls inside most views; +2 headroom exercises
+    // interior cells too.
+    const Grid grid(alg.min_rows + 2, alg.min_cols + 2);
+    std::uniform_int_distribution<int> row(0, grid.rows() - 1);
+    std::uniform_int_distribution<int> col(0, grid.cols() - 1);
+    std::uniform_int_distribution<int> color(0, alg.num_colors - 1);
+    for (int trial = 0; trial < 120; ++trial) {
+      std::vector<Robot> robots;
+      for (int i = 0; i < alg.num_robots(); ++i) {
+        robots.push_back(Robot{{row(rng), col(rng)}, static_cast<Color>(color(rng))});
+      }
+      const Configuration config(grid, std::move(robots));
+      bool any_enabled = false;
+      for (int r = 0; r < config.num_robots(); ++r) {
+        const Snapshot snap = take_snapshot(config, r, alg.phi);
+        const std::vector<Action> reference = naive_enabled_actions(alg, snap);
+        const std::vector<Action> fast = enabled_actions(*compiled, snap);
+        ASSERT_EQ(fast.size(), reference.size())
+            << e.section << " trial " << trial << " robot " << r << " in " << config.to_string();
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+          EXPECT_TRUE(same_action(fast[i], reference[i]))
+              << e.section << " trial " << trial << " robot " << r << " action " << i;
+        }
+        // The allocation-free fast path must agree with the vector-building
+        // one: same emptiness, and the same first witness.
+        const std::optional<Action> first = first_enabled(*compiled, snap);
+        EXPECT_EQ(first.has_value(), !reference.empty());
+        if (!reference.empty()) {
+          EXPECT_TRUE(same_action(*first, reference.front()))
+              << e.section << " trial " << trial << " robot " << r;
+        }
+        EXPECT_EQ(is_enabled(*compiled, config, r), !reference.empty());
+        any_enabled = any_enabled || !reference.empty();
+      }
+      EXPECT_EQ(is_terminal(*compiled, config), !any_enabled)
+          << e.section << " trial " << trial;
+    }
+  }
+}
+
+TEST(CompiledMatcher, RejectsSnapshotWithMismatchedPhi) {
+  // The compiled tables are dense over the algorithm's own kernel; a phi-1
+  // snapshot would leave cells 5..12 unfilled but readable.
+  const Algorithm alg = algorithms::entry("4.2.1").make();  // phi = 2
+  ASSERT_EQ(alg.phi, 2);
+  const std::shared_ptr<const CompiledAlgorithm> compiled = CompiledAlgorithm::get(alg);
+  const Grid grid(alg.min_rows, alg.min_cols);
+  const Configuration config = alg.initial_configuration(grid);
+  const Snapshot narrow = take_snapshot(config, 0, 1);
+  EXPECT_THROW(enabled_actions(*compiled, narrow), std::invalid_argument);
+  EXPECT_THROW(first_enabled(*compiled, narrow), std::invalid_argument);
+}
+
+TEST(CompiledMatcher, CacheSharesCompilationsAcrossEqualAlgorithms) {
+  const Algorithm a = algorithms::entry("4.3.1").make();
+  const Algorithm b = algorithms::entry("4.3.1").make();  // independent copy
+  EXPECT_EQ(CompiledAlgorithm::get(a), CompiledAlgorithm::get(b));
+  const Algorithm other = algorithms::entry("4.2.1").make();
+  EXPECT_NE(CompiledAlgorithm::get(a), CompiledAlgorithm::get(other));
+}
+
+TEST(CompiledMatcher, AlgorithmOverloadsRouteThroughCompiledPath) {
+  const Algorithm alg = algorithms::entry("4.3.5").make();
+  const Grid grid(alg.min_rows, alg.min_cols);
+  const Configuration config = alg.initial_configuration(grid);
+  for (int r = 0; r < config.num_robots(); ++r) {
+    const Snapshot snap = take_snapshot(config, r, alg.phi);
+    const std::vector<Action> via_algorithm = enabled_actions(alg, config, r);
+    const std::vector<Action> reference = naive_enabled_actions(alg, snap);
+    ASSERT_EQ(via_algorithm.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_TRUE(same_action(via_algorithm[i], reference[i]));
+    }
+    EXPECT_EQ(is_enabled(alg, config, r), !reference.empty());
+  }
+}
+
+}  // namespace
+}  // namespace lumi

@@ -72,6 +72,51 @@ TEST(AsyncEngine, ChoiceValidation) {
   EXPECT_THROW(engine.activate(1, bogus), std::logic_error);
 }
 
+TEST(AsyncEngine, ChoiceValidationRejectsInconsistentWitness) {
+  // Regression: activate accepted any rule_index/sym as long as the behavior
+  // matched some choice.  A witness that does not itself derive the claimed
+  // behavior must be rejected.
+  const Algorithm alg = algorithms::algorithm6();
+  const Grid grid(2, 4);
+  {
+    AsyncEngine engine(alg, alg.initial_configuration(grid));
+    auto choices = engine.look_choices(1);
+    ASSERT_FALSE(choices.empty());
+    Action forged = choices.front();
+    forged.rule_index = static_cast<int>(alg.rules.size());  // nonexistent rule
+    EXPECT_THROW(engine.activate(1, forged), std::logic_error);
+  }
+  {
+    AsyncEngine engine(alg, alg.initial_configuration(grid));
+    auto choices = engine.look_choices(1);
+    ASSERT_FALSE(choices.empty());
+    Action skewed = choices.front();
+    skewed.sym.rot = static_cast<std::uint8_t>((skewed.sym.rot + 1) % 4);  // wrong frame
+    EXPECT_THROW(engine.activate(1, skewed), std::logic_error);
+  }
+  {
+    // An inadmissible frame: algorithm 6 has common chirality, so a mirrored
+    // symmetry can never be a legitimate witness even if the guard happens to
+    // be mirror-symmetric.
+    AsyncEngine engine(alg, alg.initial_configuration(grid));
+    auto choices = engine.look_choices(1);
+    ASSERT_FALSE(choices.empty());
+    Action mirrored = choices.front();
+    mirrored.sym.mirror = true;
+    EXPECT_THROW(engine.activate(1, mirrored), std::logic_error);
+  }
+  {
+    // A witness-free action (rule_index = -1) with a valid behavior is fine.
+    AsyncEngine engine(alg, alg.initial_configuration(grid));
+    auto choices = engine.look_choices(1);
+    ASSERT_FALSE(choices.empty());
+    Action anonymous = choices.front();
+    anonymous.rule_index = -1;
+    EXPECT_NO_THROW(engine.activate(1, anonymous));
+    EXPECT_EQ(engine.phase(1), Phase::Decided);
+  }
+}
+
 TEST(AsyncEngine, TerminalRequiresIdleAndDisabled) {
   const Algorithm alg = algorithms::algorithm6();
   const Grid grid(2, 4);

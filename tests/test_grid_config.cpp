@@ -91,6 +91,33 @@ TEST(Configuration, ToStringSortedByNode) {
   EXPECT_EQ(c.to_string(), "{(0,0):{G}, (1,2):{W}}");
 }
 
+TEST(Configuration, OccupancyTracksMutationsAndStaysConsistentOnOverflow) {
+  const Grid g(2, 3);
+  // Fill node (0,0) to the per-color capacity, plus one robot next door.
+  std::vector<Robot> robots(kMaxRobotsPerNode, Robot{{0, 0}, Color::G});
+  robots.push_back(Robot{{0, 1}, Color::G});
+  Configuration c(g, std::move(robots));
+  const int mover = kMaxRobotsPerNode;
+
+  // Moving onto the full stack must throw and leave the occupancy exactly as
+  // it was (strong guarantee): the mover is still visible on its own node.
+  EXPECT_THROW(c.move_robot(mover, {0, 0}), std::overflow_error);
+  EXPECT_EQ(c.robot(mover).pos, (Vec{0, 1}));
+  EXPECT_EQ(c.multiset_at({0, 1}).count(Color::G), 1);
+  EXPECT_EQ(c.multiset_at({0, 0}).count(Color::G), kMaxRobotsPerNode);
+
+  // Normal mutations keep the incremental occupancy in sync.
+  c.set_color(mover, Color::W);
+  EXPECT_EQ(c.multiset_at({0, 1}).count(Color::W), 1);
+  EXPECT_EQ(c.multiset_at({0, 1}).count(Color::G), 0);
+  c.move_robot(mover, {1, 1});
+  EXPECT_TRUE(c.multiset_at({0, 1}).empty());
+  EXPECT_EQ(c.multiset_at({1, 1}).count(Color::W), 1);
+  // Recoloring to the current color is a no-op even on a full stack.
+  EXPECT_NO_THROW(c.set_color(0, Color::G));
+  EXPECT_EQ(c.multiset_at({0, 0}).count(Color::G), kMaxRobotsPerNode);
+}
+
 TEST(Configuration, StackedRobotsRender) {
   const Grid g(2, 3);
   Configuration c = make_configuration(g, {{{1, 0}, {Color::G, Color::W, Color::W}}});

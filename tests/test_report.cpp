@@ -1,0 +1,106 @@
+// Report-writer correctness: JSON string escaping, RFC-4180 CSV quoting,
+// zero-run cell rendering, and byte-identity of rendered reports across
+// thread counts (not just accumulator equality).
+#include "src/trace/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumi {
+namespace {
+
+using campaign::CampaignSummary;
+using campaign::Cell;
+using campaign::CellSummary;
+using campaign::SchedKind;
+
+CampaignSummary hostile_summary() {
+  // Section name with a quote, comma and backslash — every character class
+  // the writers previously passed through unescaped.
+  CampaignSummary summary;
+  CellSummary cell;
+  cell.cell = Cell{"4.2.1 \"hostile\", a\\b", 4, 5, SchedKind::Fsync};
+  RunResult run;
+  run.terminated = true;
+  run.explored_all = true;
+  run.visited.assign(20, true);
+  cell.acc.add(run);
+  summary.cells.push_back(cell);
+  summary.total = cell.acc;
+  summary.jobs = 1;
+  return summary;
+}
+
+TEST(ReportEscaping, CsvQuotesHostileSection) {
+  const std::string csv = campaign_csv(hostile_summary());
+  // The field is quoted, inner quotes are doubled, and the row still has the
+  // same number of (unquoted) commas as the header.
+  EXPECT_NE(csv.find("\"4.2.1 \"\"hostile\"\", a\\b\","), std::string::npos) << csv;
+  const std::size_t header_end = csv.find('\n');
+  std::size_t header_commas = 0;
+  for (std::size_t i = 0; i < header_end; ++i) header_commas += csv[i] == ',' ? 1 : 0;
+  std::size_t row_commas = 0;
+  bool quoted = false;
+  for (std::size_t i = header_end + 1; i < csv.size(); ++i) {
+    if (csv[i] == '"') quoted = !quoted;
+    if (csv[i] == ',' && !quoted) row_commas += 1;
+  }
+  EXPECT_EQ(row_commas, header_commas);
+}
+
+TEST(ReportEscaping, JsonEscapesHostileSection) {
+  const std::string json = campaign_json(hostile_summary());
+  EXPECT_NE(json.find("\"section\": \"4.2.1 \\\"hostile\\\", a\\\\b\""), std::string::npos)
+      << json;
+}
+
+TEST(ReportEscaping, PrimitivesFollowTheirRfcs) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+
+  EXPECT_EQ(csv_field("plain"), "plain");
+  EXPECT_EQ(csv_field("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_field("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_field("with\nnewline"), "\"with\nnewline\"");
+  EXPECT_EQ(csv_field("back\\slash"), "back\\slash");  // backslash alone needs no quoting
+}
+
+TEST(Report, ZeroRunCellRendersFiniteZeros) {
+  CampaignSummary summary;
+  CellSummary cell;
+  cell.cell = Cell{"4.2.1", 2, 3, SchedKind::Fsync};  // no runs added
+  summary.cells.push_back(cell);
+
+  const std::string csv = campaign_csv(summary);
+  EXPECT_NE(csv.find("4.2.1,2,3,fsync,0,0,0,0,0,0,0,0,0"), std::string::npos) << csv;
+  const std::string json = campaign_json(summary);
+  EXPECT_NE(json.find("\"termination_rate\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\": 0"), std::string::npos);
+  for (const std::string& bad : {std::string("nan"), std::string("inf")}) {
+    EXPECT_EQ(csv.find(bad), std::string::npos);
+    EXPECT_EQ(json.find(bad), std::string::npos);
+  }
+}
+
+TEST(Report, RenderedReportsAreByteIdenticalAcrossThreadCounts) {
+  campaign::Matrix matrix;
+  matrix.sections = {"4.2.1", "4.3.1", "4.3.5"};
+  matrix.rows = {4, 6, 2};
+  matrix.cols = {4, 6, 2};
+  matrix.schedulers = {SchedKind::Fsync, SchedKind::SsyncRandom, SchedKind::AsyncRandom};
+  matrix.seeds = {7, 8};
+  const campaign::Expansion expansion = campaign::expand(matrix);
+
+  CampaignSummary one = campaign::run_campaign(expansion, 1);
+  CampaignSummary four = campaign::run_campaign(expansion, 4);
+  // Normalize the only fields that legitimately depend on the execution
+  // environment; everything else must serialize to the same bytes.
+  one.threads = four.threads = 0;
+  one.wall_seconds = four.wall_seconds = 0.0;
+  EXPECT_EQ(campaign_csv(one), campaign_csv(four));
+  EXPECT_EQ(campaign_json(one), campaign_json(four));
+}
+
+}  // namespace
+}  // namespace lumi
