@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_hunt.dir/examples/adversary_hunt.cpp.o"
+  "CMakeFiles/adversary_hunt.dir/examples/adversary_hunt.cpp.o.d"
+  "adversary_hunt"
+  "adversary_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for adversary_hunt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_stress_lab.dir/examples/async_stress_lab.cpp.o"
+  "CMakeFiles/async_stress_lab.dir/examples/async_stress_lab.cpp.o.d"
+  "async_stress_lab"
+  "async_stress_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_stress_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

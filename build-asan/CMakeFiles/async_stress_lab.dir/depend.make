@@ -1,0 +1,2 @@
+# Empty dependencies file for async_stress_lab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_campaign.dir/bench/bench_campaign.cpp.o"
+  "CMakeFiles/bench_campaign.dir/bench/bench_campaign.cpp.o.d"
+  "bench_campaign"
+  "bench_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figures.dir/bench/bench_figures.cpp.o"
+  "CMakeFiles/bench_figures.dir/bench/bench_figures.cpp.o.d"
+  "bench_figures"
+  "bench_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_impossibility.dir/bench/bench_impossibility.cpp.o"
+  "CMakeFiles/bench_impossibility.dir/bench/bench_impossibility.cpp.o.d"
+  "bench_impossibility"
+  "bench_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matching.dir/bench/bench_matching.cpp.o"
+  "CMakeFiles/bench_matching.dir/bench/bench_matching.cpp.o.d"
+  "bench_matching"
+  "bench_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

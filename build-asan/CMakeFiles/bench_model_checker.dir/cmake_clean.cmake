@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_checker.dir/bench/bench_model_checker.cpp.o"
+  "CMakeFiles/bench_model_checker.dir/bench/bench_model_checker.cpp.o.d"
+  "bench_model_checker"
+  "bench_model_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_cli.dir/examples/campaign_cli.cpp.o"
+  "CMakeFiles/campaign_cli.dir/examples/campaign_cli.cpp.o.d"
+  "campaign_cli"
+  "campaign_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_algorithm.dir/examples/custom_algorithm.cpp.o"
+  "CMakeFiles/custom_algorithm.dir/examples/custom_algorithm.cpp.o.d"
+  "custom_algorithm"
+  "custom_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_cli.dir/examples/explore_cli.cpp.o"
+  "CMakeFiles/explore_cli.dir/examples/explore_cli.cpp.o.d"
+  "explore_cli"
+  "explore_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

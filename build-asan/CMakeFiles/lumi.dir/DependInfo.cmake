@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/alg01_fsync_phi2_l2_chir_k2.cpp" "CMakeFiles/lumi.dir/src/algorithms/alg01_fsync_phi2_l2_chir_k2.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/algorithms/alg01_fsync_phi2_l2_chir_k2.cpp.o.d"
+  "/root/repo/src/algorithms/alg02_fsync_phi2_l2_nochir_k3.cpp" "CMakeFiles/lumi.dir/src/algorithms/alg02_fsync_phi2_l2_nochir_k3.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/algorithms/alg02_fsync_phi2_l2_nochir_k3.cpp.o.d"
+  "/root/repo/src/algorithms/alg03_fsync_phi1_l3_chir_k2.cpp" "CMakeFiles/lumi.dir/src/algorithms/alg03_fsync_phi1_l3_chir_k2.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/algorithms/alg03_fsync_phi1_l3_chir_k2.cpp.o.d"
+  "/root/repo/src/algorithms/alg04_fsync_phi1_l3_nochir_k4.cpp" "CMakeFiles/lumi.dir/src/algorithms/alg04_fsync_phi1_l3_nochir_k4.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/algorithms/alg04_fsync_phi1_l3_nochir_k4.cpp.o.d"
+  "/root/repo/src/algorithms/alg05_fsync_phi1_l2_chir_k3.cpp" "CMakeFiles/lumi.dir/src/algorithms/alg05_fsync_phi1_l2_chir_k3.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/algorithms/alg05_fsync_phi1_l2_chir_k3.cpp.o.d"
+  "/root/repo/src/algorithms/alg06_async_phi2_l3_chir_k2.cpp" "CMakeFiles/lumi.dir/src/algorithms/alg06_async_phi2_l3_chir_k2.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/algorithms/alg06_async_phi2_l3_chir_k2.cpp.o.d"
+  "/root/repo/src/algorithms/alg07_async_phi2_l3_nochir_k3.cpp" "CMakeFiles/lumi.dir/src/algorithms/alg07_async_phi2_l3_nochir_k3.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/algorithms/alg07_async_phi2_l3_nochir_k3.cpp.o.d"
+  "/root/repo/src/algorithms/alg08_async_phi2_l2_chir_k3.cpp" "CMakeFiles/lumi.dir/src/algorithms/alg08_async_phi2_l2_chir_k3.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/algorithms/alg08_async_phi2_l2_chir_k3.cpp.o.d"
+  "/root/repo/src/algorithms/alg09_async_phi2_l2_nochir_k4.cpp" "CMakeFiles/lumi.dir/src/algorithms/alg09_async_phi2_l2_nochir_k4.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/algorithms/alg09_async_phi2_l2_nochir_k4.cpp.o.d"
+  "/root/repo/src/algorithms/alg10_async_phi1_l3_chir_k3.cpp" "CMakeFiles/lumi.dir/src/algorithms/alg10_async_phi1_l3_chir_k3.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/algorithms/alg10_async_phi1_l3_chir_k3.cpp.o.d"
+  "/root/repo/src/algorithms/alg11_async_phi1_l3_nochir_k6.cpp" "CMakeFiles/lumi.dir/src/algorithms/alg11_async_phi1_l3_nochir_k6.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/algorithms/alg11_async_phi1_l3_nochir_k6.cpp.o.d"
+  "/root/repo/src/algorithms/registry.cpp" "CMakeFiles/lumi.dir/src/algorithms/registry.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/algorithms/registry.cpp.o.d"
+  "/root/repo/src/algorithms/transform.cpp" "CMakeFiles/lumi.dir/src/algorithms/transform.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/algorithms/transform.cpp.o.d"
+  "/root/repo/src/analysis/impossibility.cpp" "CMakeFiles/lumi.dir/src/analysis/impossibility.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/analysis/impossibility.cpp.o.d"
+  "/root/repo/src/analysis/model_checker.cpp" "CMakeFiles/lumi.dir/src/analysis/model_checker.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/analysis/model_checker.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "CMakeFiles/lumi.dir/src/analysis/stats.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/analysis/stats.cpp.o.d"
+  "/root/repo/src/analysis/verifier.cpp" "CMakeFiles/lumi.dir/src/analysis/verifier.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/analysis/verifier.cpp.o.d"
+  "/root/repo/src/campaign/aggregate.cpp" "CMakeFiles/lumi.dir/src/campaign/aggregate.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/campaign/aggregate.cpp.o.d"
+  "/root/repo/src/campaign/campaign.cpp" "CMakeFiles/lumi.dir/src/campaign/campaign.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/campaign/campaign.cpp.o.d"
+  "/root/repo/src/campaign/thread_pool.cpp" "CMakeFiles/lumi.dir/src/campaign/thread_pool.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/campaign/thread_pool.cpp.o.d"
+  "/root/repo/src/core/algorithm.cpp" "CMakeFiles/lumi.dir/src/core/algorithm.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/core/algorithm.cpp.o.d"
+  "/root/repo/src/core/color.cpp" "CMakeFiles/lumi.dir/src/core/color.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/core/color.cpp.o.d"
+  "/root/repo/src/core/compiled.cpp" "CMakeFiles/lumi.dir/src/core/compiled.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/core/compiled.cpp.o.d"
+  "/root/repo/src/core/configuration.cpp" "CMakeFiles/lumi.dir/src/core/configuration.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/core/configuration.cpp.o.d"
+  "/root/repo/src/core/geometry.cpp" "CMakeFiles/lumi.dir/src/core/geometry.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/core/geometry.cpp.o.d"
+  "/root/repo/src/core/grid.cpp" "CMakeFiles/lumi.dir/src/core/grid.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/core/grid.cpp.o.d"
+  "/root/repo/src/core/matching.cpp" "CMakeFiles/lumi.dir/src/core/matching.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/core/matching.cpp.o.d"
+  "/root/repo/src/core/pattern.cpp" "CMakeFiles/lumi.dir/src/core/pattern.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/core/pattern.cpp.o.d"
+  "/root/repo/src/core/rule.cpp" "CMakeFiles/lumi.dir/src/core/rule.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/core/rule.cpp.o.d"
+  "/root/repo/src/core/view.cpp" "CMakeFiles/lumi.dir/src/core/view.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/core/view.cpp.o.d"
+  "/root/repo/src/dsl/parser.cpp" "CMakeFiles/lumi.dir/src/dsl/parser.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/dsl/parser.cpp.o.d"
+  "/root/repo/src/dsl/serializer.cpp" "CMakeFiles/lumi.dir/src/dsl/serializer.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/dsl/serializer.cpp.o.d"
+  "/root/repo/src/engine/async_engine.cpp" "CMakeFiles/lumi.dir/src/engine/async_engine.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/engine/async_engine.cpp.o.d"
+  "/root/repo/src/engine/runner.cpp" "CMakeFiles/lumi.dir/src/engine/runner.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/engine/runner.cpp.o.d"
+  "/root/repo/src/engine/sync_engine.cpp" "CMakeFiles/lumi.dir/src/engine/sync_engine.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/engine/sync_engine.cpp.o.d"
+  "/root/repo/src/sched/async_schedulers.cpp" "CMakeFiles/lumi.dir/src/sched/async_schedulers.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/sched/async_schedulers.cpp.o.d"
+  "/root/repo/src/sched/sync_schedulers.cpp" "CMakeFiles/lumi.dir/src/sched/sync_schedulers.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/sched/sync_schedulers.cpp.o.d"
+  "/root/repo/src/trace/ascii_render.cpp" "CMakeFiles/lumi.dir/src/trace/ascii_render.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/trace/ascii_render.cpp.o.d"
+  "/root/repo/src/trace/figure_printer.cpp" "CMakeFiles/lumi.dir/src/trace/figure_printer.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/trace/figure_printer.cpp.o.d"
+  "/root/repo/src/trace/report.cpp" "CMakeFiles/lumi.dir/src/trace/report.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/trace/report.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "CMakeFiles/lumi.dir/src/trace/trace.cpp.o" "gcc" "CMakeFiles/lumi.dir/src/trace/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithm_validate.dir/tests/test_algorithm_validate.cpp.o"
+  "CMakeFiles/test_algorithm_validate.dir/tests/test_algorithm_validate.cpp.o.d"
+  "test_algorithm_validate"
+  "test_algorithm_validate.pdb"
+  "test_algorithm_validate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithm_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

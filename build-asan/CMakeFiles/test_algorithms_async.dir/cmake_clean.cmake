@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithms_async.dir/tests/test_algorithms_async.cpp.o"
+  "CMakeFiles/test_algorithms_async.dir/tests/test_algorithms_async.cpp.o.d"
+  "test_algorithms_async"
+  "test_algorithms_async.pdb"
+  "test_algorithms_async[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithms_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

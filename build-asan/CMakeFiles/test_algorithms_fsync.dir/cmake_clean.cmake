@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithms_fsync.dir/tests/test_algorithms_fsync.cpp.o"
+  "CMakeFiles/test_algorithms_fsync.dir/tests/test_algorithms_fsync.cpp.o.d"
+  "test_algorithms_fsync"
+  "test_algorithms_fsync.pdb"
+  "test_algorithms_fsync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithms_fsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_color.dir/tests/test_color.cpp.o"
+  "CMakeFiles/test_color.dir/tests/test_color.cpp.o.d"
+  "test_color"
+  "test_color.pdb"
+  "test_color[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiled_matching.dir/tests/test_compiled_matching.cpp.o"
+  "CMakeFiles/test_compiled_matching.dir/tests/test_compiled_matching.cpp.o.d"
+  "test_compiled_matching"
+  "test_compiled_matching.pdb"
+  "test_compiled_matching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiled_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsl.dir/tests/test_dsl.cpp.o"
+  "CMakeFiles/test_dsl.dir/tests/test_dsl.cpp.o.d"
+  "test_dsl"
+  "test_dsl.pdb"
+  "test_dsl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_async.dir/tests/test_engine_async.cpp.o"
+  "CMakeFiles/test_engine_async.dir/tests/test_engine_async.cpp.o.d"
+  "test_engine_async"
+  "test_engine_async.pdb"
+  "test_engine_async[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_sync.dir/tests/test_engine_sync.cpp.o"
+  "CMakeFiles/test_engine_sync.dir/tests/test_engine_sync.cpp.o.d"
+  "test_engine_sync"
+  "test_engine_sync.pdb"
+  "test_engine_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_config.dir/tests/test_grid_config.cpp.o"
+  "CMakeFiles/test_grid_config.dir/tests/test_grid_config.cpp.o.d"
+  "test_grid_config"
+  "test_grid_config.pdb"
+  "test_grid_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_impossibility.dir/tests/test_impossibility.cpp.o"
+  "CMakeFiles/test_impossibility.dir/tests/test_impossibility.cpp.o.d"
+  "test_impossibility"
+  "test_impossibility.pdb"
+  "test_impossibility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matching.dir/tests/test_matching.cpp.o"
+  "CMakeFiles/test_matching.dir/tests/test_matching.cpp.o.d"
+  "test_matching"
+  "test_matching.pdb"
+  "test_matching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_checker.dir/tests/test_model_checker.cpp.o"
+  "CMakeFiles/test_model_checker.dir/tests/test_model_checker.cpp.o.d"
+  "test_model_checker"
+  "test_model_checker.pdb"
+  "test_model_checker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_model_checker.
+# This may be replaced when dependencies are built.

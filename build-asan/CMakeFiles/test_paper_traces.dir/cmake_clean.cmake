@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_traces.dir/tests/test_paper_traces.cpp.o"
+  "CMakeFiles/test_paper_traces.dir/tests/test_paper_traces.cpp.o.d"
+  "test_paper_traces"
+  "test_paper_traces.pdb"
+  "test_paper_traces[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

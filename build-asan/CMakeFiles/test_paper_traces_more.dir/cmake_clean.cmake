@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_traces_more.dir/tests/test_paper_traces_more.cpp.o"
+  "CMakeFiles/test_paper_traces_more.dir/tests/test_paper_traces_more.cpp.o.d"
+  "test_paper_traces_more"
+  "test_paper_traces_more.pdb"
+  "test_paper_traces_more[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_traces_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

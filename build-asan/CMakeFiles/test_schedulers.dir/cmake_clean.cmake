@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedulers.dir/tests/test_schedulers.cpp.o"
+  "CMakeFiles/test_schedulers.dir/tests/test_schedulers.cpp.o.d"
+  "test_schedulers"
+  "test_schedulers.pdb"
+  "test_schedulers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symmetry_property.dir/tests/test_symmetry_property.cpp.o"
+  "CMakeFiles/test_symmetry_property.dir/tests/test_symmetry_property.cpp.o.d"
+  "test_symmetry_property"
+  "test_symmetry_property.pdb"
+  "test_symmetry_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symmetry_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_render.dir/tests/test_trace_render.cpp.o"
+  "CMakeFiles/test_trace_render.dir/tests/test_trace_render.cpp.o.d"
+  "test_trace_render"
+  "test_trace_render.pdb"
+  "test_trace_render[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

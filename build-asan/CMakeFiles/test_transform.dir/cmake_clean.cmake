@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transform.dir/tests/test_transform.cpp.o"
+  "CMakeFiles/test_transform.dir/tests/test_transform.cpp.o.d"
+  "test_transform"
+  "test_transform.pdb"
+  "test_transform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

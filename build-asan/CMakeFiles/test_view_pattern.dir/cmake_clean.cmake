@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_view_pattern.dir/tests/test_view_pattern.cpp.o"
+  "CMakeFiles/test_view_pattern.dir/tests/test_view_pattern.cpp.o.d"
+  "test_view_pattern"
+  "test_view_pattern.pdb"
+  "test_view_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_view_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-asan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/test_algorithm_validate[1]_include.cmake")
+include("/root/repo/build-asan/test_algorithms_async[1]_include.cmake")
+include("/root/repo/build-asan/test_algorithms_fsync[1]_include.cmake")
+include("/root/repo/build-asan/test_campaign[1]_include.cmake")
+include("/root/repo/build-asan/test_color[1]_include.cmake")
+include("/root/repo/build-asan/test_compiled_matching[1]_include.cmake")
+include("/root/repo/build-asan/test_dsl[1]_include.cmake")
+include("/root/repo/build-asan/test_engine_async[1]_include.cmake")
+include("/root/repo/build-asan/test_engine_sync[1]_include.cmake")
+include("/root/repo/build-asan/test_geometry[1]_include.cmake")
+include("/root/repo/build-asan/test_grid_config[1]_include.cmake")
+include("/root/repo/build-asan/test_impossibility[1]_include.cmake")
+include("/root/repo/build-asan/test_matching[1]_include.cmake")
+include("/root/repo/build-asan/test_model_checker[1]_include.cmake")
+include("/root/repo/build-asan/test_paper_traces[1]_include.cmake")
+include("/root/repo/build-asan/test_paper_traces_more[1]_include.cmake")
+include("/root/repo/build-asan/test_report[1]_include.cmake")
+include("/root/repo/build-asan/test_runner[1]_include.cmake")
+include("/root/repo/build-asan/test_schedulers[1]_include.cmake")
+include("/root/repo/build-asan/test_stats[1]_include.cmake")
+include("/root/repo/build-asan/test_symmetry_property[1]_include.cmake")
+include("/root/repo/build-asan/test_trace_render[1]_include.cmake")
+include("/root/repo/build-asan/test_transform[1]_include.cmake")
+include("/root/repo/build-asan/test_verifier[1]_include.cmake")
+include("/root/repo/build-asan/test_view_pattern[1]_include.cmake")

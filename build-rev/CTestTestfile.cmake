@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-rev
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-rev/test_algorithm_validate[1]_include.cmake")
+include("/root/repo/build-rev/test_algorithms_async[1]_include.cmake")
+include("/root/repo/build-rev/test_algorithms_fsync[1]_include.cmake")
+include("/root/repo/build-rev/test_campaign[1]_include.cmake")
+include("/root/repo/build-rev/test_color[1]_include.cmake")
+include("/root/repo/build-rev/test_compiled_matching[1]_include.cmake")
+include("/root/repo/build-rev/test_dsl[1]_include.cmake")
+include("/root/repo/build-rev/test_engine_async[1]_include.cmake")
+include("/root/repo/build-rev/test_engine_sync[1]_include.cmake")
+include("/root/repo/build-rev/test_geometry[1]_include.cmake")
+include("/root/repo/build-rev/test_grid_config[1]_include.cmake")
+include("/root/repo/build-rev/test_impossibility[1]_include.cmake")
+include("/root/repo/build-rev/test_matching[1]_include.cmake")
+include("/root/repo/build-rev/test_model_checker[1]_include.cmake")
+include("/root/repo/build-rev/test_paper_traces[1]_include.cmake")
+include("/root/repo/build-rev/test_paper_traces_more[1]_include.cmake")
+include("/root/repo/build-rev/test_report[1]_include.cmake")
+include("/root/repo/build-rev/test_runner[1]_include.cmake")
+include("/root/repo/build-rev/test_schedulers[1]_include.cmake")
+include("/root/repo/build-rev/test_stats[1]_include.cmake")
+include("/root/repo/build-rev/test_symmetry_property[1]_include.cmake")
+include("/root/repo/build-rev/test_trace_render[1]_include.cmake")
+include("/root/repo/build-rev/test_transform[1]_include.cmake")
+include("/root/repo/build-rev/test_verifier[1]_include.cmake")
+include("/root/repo/build-rev/test_view_pattern[1]_include.cmake")

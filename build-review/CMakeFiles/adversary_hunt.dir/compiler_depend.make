@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for adversary_hunt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-review
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/test_algorithm_validate[1]_include.cmake")
+include("/root/repo/build-review/test_algorithms_async[1]_include.cmake")
+include("/root/repo/build-review/test_algorithms_fsync[1]_include.cmake")
+include("/root/repo/build-review/test_campaign[1]_include.cmake")
+include("/root/repo/build-review/test_color[1]_include.cmake")
+include("/root/repo/build-review/test_compiled_matching[1]_include.cmake")
+include("/root/repo/build-review/test_dsl[1]_include.cmake")
+include("/root/repo/build-review/test_engine_async[1]_include.cmake")
+include("/root/repo/build-review/test_engine_sync[1]_include.cmake")
+include("/root/repo/build-review/test_geometry[1]_include.cmake")
+include("/root/repo/build-review/test_grid_config[1]_include.cmake")
+include("/root/repo/build-review/test_impossibility[1]_include.cmake")
+include("/root/repo/build-review/test_matching[1]_include.cmake")
+include("/root/repo/build-review/test_model_checker[1]_include.cmake")
+include("/root/repo/build-review/test_paper_traces[1]_include.cmake")
+include("/root/repo/build-review/test_paper_traces_more[1]_include.cmake")
+include("/root/repo/build-review/test_report[1]_include.cmake")
+include("/root/repo/build-review/test_runner[1]_include.cmake")
+include("/root/repo/build-review/test_schedulers[1]_include.cmake")
+include("/root/repo/build-review/test_stats[1]_include.cmake")
+include("/root/repo/build-review/test_symmetry_property[1]_include.cmake")
+include("/root/repo/build-review/test_trace_render[1]_include.cmake")
+include("/root/repo/build-review/test_transform[1]_include.cmake")
+include("/root/repo/build-review/test_verifier[1]_include.cmake")
+include("/root/repo/build-review/test_view_pattern[1]_include.cmake")
