@@ -1,16 +1,23 @@
 // Measures campaign throughput (jobs/sec) single-threaded vs. all cores on a
-// fixed matrix, and reports the speedup.  Exits nonzero if the parallel run
-// produces a different merged summary than the single-threaded one (the
-// determinism contract).
+// fixed matrix, plus the orchestration overheads (checkpoint serialization +
+// atomic write, 7-way shard merge), and reports the speedup.  Exits nonzero
+// if the parallel run produces a different merged summary than the
+// single-threaded one (the determinism contract), or if the shard merge is
+// not byte-identical to the direct run.
 //
 // Usage: bench_campaign [--large] [--json PATH]
 // --json writes the measured rates as machine-readable JSON (the campaign
 // companion to BENCH_matching.json).
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/campaign/campaign.hpp"
+#include "src/campaign/checkpoint.hpp"
+#include "src/campaign/orchestrate.hpp"
+#include "src/campaign/shard.hpp"
 #include "src/trace/report.hpp"
 
 namespace {
@@ -72,18 +79,65 @@ int main(int argc, char** argv) {
   }
   std::printf("summaries identical across thread counts: yes\n");
 
+  // --- orchestration overheads ----------------------------------------------
+  using clock = std::chrono::steady_clock;
+  const auto ms_since = [](clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  };
+
+  // Checkpoint write: serialize + atomic-rename of the full final state,
+  // i.e. the cost one periodic flush adds to a running campaign.
+  const OrchestratorReport base = run_orchestrated(expansion, {});
+  const std::string ckpt_path = "bench_campaign.ckpt";
+  constexpr int kWriteIters = 20;
+  const auto write_start = clock::now();
+  for (int i = 0; i < kWriteIters; ++i) {
+    if (!checkpoint_write(ckpt_path, base.checkpoint)) {
+      std::printf("FAIL: cannot write %s\n", ckpt_path.c_str());
+      return 1;
+    }
+  }
+  const double checkpoint_write_ms = ms_since(write_start) / kWriteIters;
+  std::remove(ckpt_path.c_str());
+  std::printf("  checkpoint write: %.3f ms for %zu cells\n", checkpoint_write_ms,
+              base.checkpoint.cells.size());
+
+  // Shard merge: fold a 7-way sharding back into one summary, then verify the
+  // orchestration contract end to end (byte-identical reports).
+  constexpr unsigned kShards = 7;
+  std::vector<Checkpoint> pieces;
+  for (unsigned i = 0; i < kShards; ++i) {
+    pieces.push_back(run_orchestrated(shard(expansion, {i, kShards}), {}).checkpoint);
+  }
+  const auto merge_start = clock::now();
+  Checkpoint merged = pieces[0];
+  for (unsigned i = 1; i < kShards; ++i) checkpoint_merge(merged, pieces[i]);
+  const double shard_merge_ms = ms_since(merge_start);
+  std::printf("  %u-way shard merge: %.3f ms\n", kShards, shard_merge_ms);
+  if (lumi::campaign_csv(checkpoint_summary(merged)) != lumi::campaign_csv(single) ||
+      lumi::campaign_json(checkpoint_summary(merged)) != lumi::campaign_json(single)) {
+    std::printf("FAIL: merged shard reports differ from the single-process run\n");
+    return 1;
+  }
+  std::printf("merged shard reports byte-identical to direct run: yes\n");
+
   if (!json_path.empty()) {
-    char json[512];
+    char json[640];
     std::snprintf(json, sizeof(json),
                   "{\n"
                   "  \"jobs\": %zu,\n"
                   "  \"threads\": %u,\n"
                   "  \"single_jobs_per_sec\": %.1f,\n"
                   "  \"parallel_jobs_per_sec\": %.1f,\n"
-                  "  \"parallel_speedup\": %.2f\n"
+                  "  \"parallel_speedup\": %.2f,\n"
+                  "  \"checkpoint_cells\": %zu,\n"
+                  "  \"checkpoint_write_ms\": %.3f,\n"
+                  "  \"shard_merge_ways\": %u,\n"
+                  "  \"shard_merge_ms\": %.3f\n"
                   "}\n",
                   parallel.jobs, parallel.threads, single_rate, parallel_rate,
-                  parallel_rate / single_rate);
+                  parallel_rate / single_rate, base.checkpoint.cells.size(), checkpoint_write_ms,
+                  kShards, shard_merge_ms);
     if (!lumi::write_text_file(json_path, json)) {
       std::printf("FAIL: cannot write %s\n", json_path.c_str());
       return 1;

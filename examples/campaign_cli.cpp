@@ -1,9 +1,13 @@
 // Campaign driver: sweeps algorithms x grids x schedulers x seeds on all
-// cores and prints per-cell summaries, with optional CSV/JSON reports.
+// cores and prints per-cell summaries, with optional CSV/JSON reports,
+// sharding, checkpoint/resume and adaptive seed escalation.
 //
 //   $ ./campaign_cli                              # 11 paper algorithms, small grids
 //   $ ./campaign_cli --rows=4..64:12 --cols=4..64:12 --seeds=3 --csv=sweep.csv
 //   $ ./campaign_cli --sections=4.3.1,4.3.5 --scheds=async-random,async-stress
+//   $ ./campaign_cli --shard=0/3 --checkpoint=s0.ckpt   # then merge: campaign_merge
+//   $ ./campaign_cli --checkpoint=run.ckpt              # re-run resumes where it died
+//   $ ./campaign_cli --checkpoint=run.ckpt --adaptive   # extra seeds for shaky cells
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +16,8 @@
 #include <vector>
 
 #include "src/campaign/campaign.hpp"
+#include "src/campaign/orchestrate.hpp"
+#include "src/campaign/shard.hpp"
 #include "src/trace/report.hpp"
 
 namespace {
@@ -29,6 +35,11 @@ struct Args {
   std::string csv_path;
   std::string json_path;
   bool quiet = false;
+  campaign::ShardSpec shard;  ///< default 0/1: the whole matrix
+  std::string checkpoint_path;
+  double flush_interval = 5.0;
+  std::size_t max_jobs = 0;
+  campaign::AdaptivePolicy adaptive;
 };
 
 /// Parses "8", "4..64" or "4..64:12" into an inclusive stepped range.
@@ -94,12 +105,39 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.csv_path = v;
     } else if (const char* v = value("--json=")) {
       args.json_path = v;
+    } else if (const char* v = value("--shard=")) {
+      const auto spec = campaign::shard_from_string(v);
+      if (!spec) return false;
+      args.shard = *spec;
+    } else if (const char* v = value("--checkpoint=")) {
+      args.checkpoint_path = v;
+    } else if (const char* v = value("--flush-interval=")) {
+      args.flush_interval = std::atof(v);
+      if (args.flush_interval <= 0) return false;
+    } else if (const char* v = value("--max-jobs=")) {
+      args.max_jobs = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--adaptive") {
+      args.adaptive.enabled = true;
+    } else if (const char* v = value("--adaptive-max-extra=")) {
+      args.adaptive.enabled = true;
+      args.adaptive.max_extra_seeds = static_cast<unsigned>(std::atoi(v));
+    } else if (const char* v = value("--adaptive-round=")) {
+      args.adaptive.enabled = true;
+      args.adaptive.seeds_per_round = static_cast<unsigned>(std::atoi(v));
+      if (args.adaptive.seeds_per_round == 0) return false;
+    } else if (const char* v = value("--adaptive-variance=")) {
+      args.adaptive.enabled = true;
+      args.adaptive.instants_variance_threshold = std::atof(v);
     } else if (arg == "--quiet") {
       args.quiet = true;
     } else {
       return false;
     }
   }
+  // A single shard sees only its slice of each cell, so its stats cannot
+  // drive escalation decisions; escalate on the full matrix (or a merged
+  // checkpoint) instead.
+  if (args.adaptive.enabled && args.shard.count > 1) return false;
   return true;
 }
 
@@ -142,7 +180,11 @@ int main(int argc, char** argv) {
                  "          [--scheds=all|fsync,ssync-random,ssync-rr,async-random,"
                  "async-central,async-stress]\n"
                  "          [--seeds=N] [--threads=N] [--max-steps=N]\n"
-                 "          [--csv=PATH] [--json=PATH] [--quiet]\n",
+                 "          [--csv=PATH] [--json=PATH] [--quiet]\n"
+                 "          [--shard=I/N] [--checkpoint=PATH] [--flush-interval=SEC]\n"
+                 "          [--max-jobs=N] [--adaptive] [--adaptive-max-extra=N]\n"
+                 "          [--adaptive-round=N] [--adaptive-variance=X]\n"
+                 "(--adaptive needs whole-cell stats and excludes --shard)\n",
                  argv[0]);
     return 2;
   }
@@ -161,10 +203,39 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "matrix expands to zero jobs\n");
     return 1;
   }
-  std::printf("campaign: %zu algorithms x %zu cells -> %zu jobs\n", matrix.sections.size(),
-              expansion.cells.size(), expansion.jobs.size());
+  if (args.shard.count > 1) expansion = campaign::shard(expansion, args.shard);
+  std::printf("campaign: %zu algorithms x %zu cells -> %zu jobs (shard %s)\n",
+              matrix.sections.size(), expansion.cells.size(), expansion.jobs.size(),
+              to_string(args.shard).c_str());
 
-  const campaign::CampaignSummary summary = campaign::run_campaign(expansion, args.threads);
+  const bool orchestrated = args.shard.count > 1 || !args.checkpoint_path.empty() ||
+                            args.adaptive.enabled || args.max_jobs != 0;
+  campaign::CampaignSummary summary;
+  bool complete = true;
+  if (orchestrated) {
+    campaign::OrchestratorOptions opts;
+    opts.threads = args.threads;
+    opts.checkpoint_path = args.checkpoint_path;
+    opts.flush_seconds = args.flush_interval;
+    opts.max_jobs = args.max_jobs;
+    opts.adaptive = args.adaptive;
+    campaign::OrchestratorReport report;
+    try {
+      report = campaign::run_orchestrated(expansion, opts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "orchestration failed: %s\n", e.what());
+      return 2;
+    }
+    std::printf("orchestrator: %zu skipped (checkpoint), %zu executed, "
+                "%zu escalation jobs over %u rounds%s\n",
+                report.jobs_skipped, report.jobs_executed, report.escalation_jobs,
+                report.escalation_rounds,
+                report.complete ? "" : " — INCOMPLETE (max-jobs hit), resume with --checkpoint");
+    summary = std::move(report.summary);
+    complete = report.complete;
+  } else {
+    summary = campaign::run_campaign(expansion, args.threads);
+  }
 
   if (!args.quiet) {
     std::printf("%-8s %-8s %-14s %6s %6s %6s %10s %10s\n", "section", "grid", "sched", "runs",
@@ -194,7 +265,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const bool all_ok = summary.total.terminated == summary.total.runs &&
+  const bool all_ok = complete && summary.total.terminated == summary.total.runs &&
                       summary.total.explored_all == summary.total.runs &&
                       summary.total.failures == 0;
   return all_ok ? 0 : 1;

@@ -1,0 +1,94 @@
+// Folds shard checkpoints into one campaign result.  Shards produced by
+// `campaign_cli --shard=i/N --checkpoint=...` over the same matrix merge into
+// a summary bit-identical to the single-process run (CSV and JSON alike).
+//
+//   $ ./campaign_merge --out=merged.ckpt shard0.ckpt shard1.ckpt shard2.ckpt
+//   $ ./campaign_merge --csv=sweep.csv --json=sweep.json shard*.ckpt
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "src/campaign/checkpoint.hpp"
+#include "src/trace/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lumi;
+
+  std::string out_path, csv_path, json_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* key) -> const char* {
+      const std::size_t len = std::strlen(key);
+      return arg.compare(0, len, key) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--out=")) {
+      out_path = v;
+    } else if (const char* v = value("--csv=")) {
+      csv_path = v;
+    } else if (const char* v = value("--json=")) {
+      json_path = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: %s [--out=MERGED.ckpt] [--csv=PATH] [--json=PATH] SHARD.ckpt...\n",
+                   argv[0]);
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "campaign_merge: no shard checkpoints given\n");
+    return 2;
+  }
+
+  campaign::Checkpoint merged;
+  std::size_t loaded = 0;
+  for (const std::string& path : inputs) {
+    std::optional<campaign::Checkpoint> shard;
+    try {
+      shard = campaign::checkpoint_load(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "campaign_merge: %s: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+    if (!shard) {
+      std::fprintf(stderr, "campaign_merge: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    try {
+      if (loaded == 0) {
+        merged = std::move(*shard);
+      } else {
+        campaign::checkpoint_merge(merged, *shard);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "campaign_merge: merging %s: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+    ++loaded;
+  }
+
+  const campaign::CampaignSummary summary = campaign::checkpoint_summary(merged);
+  std::printf("merged %zu checkpoints: %zu cells, %zu jobs done, "
+              "terminated %ld/%ld, explored %ld/%ld, failures %ld\n",
+              loaded, merged.cells.size(), merged.jobs_done(), summary.total.terminated,
+              summary.total.runs, summary.total.explored_all, summary.total.runs,
+              summary.total.failures);
+
+  if (!out_path.empty() && !campaign::checkpoint_write(out_path, merged)) {
+    std::fprintf(stderr, "campaign_merge: failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!csv_path.empty() && !write_text_file(csv_path, campaign_csv(summary))) {
+    std::fprintf(stderr, "campaign_merge: failed to write %s\n", csv_path.c_str());
+    return 1;
+  }
+  if (!json_path.empty() && !write_text_file(json_path, campaign_json(summary))) {
+    std::fprintf(stderr, "campaign_merge: failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

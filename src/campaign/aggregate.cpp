@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <stdexcept>
 
 namespace lumi::campaign {
@@ -16,6 +17,7 @@ void LongStat::add(long sample) {
   }
   ++count;
   sum += sample;
+  sum_squares += static_cast<long long>(sample) * sample;
   const int bucket = std::bit_width(static_cast<unsigned long>(sample));
   ++histogram[std::min<std::size_t>(bucket, histogram.size() - 1)];
 }
@@ -31,7 +33,31 @@ void LongStat::merge(const LongStat& other) {
   }
   count += other.count;
   sum += other.sum;
+  sum_squares += other.sum_squares;
   for (std::size_t b = 0; b < histogram.size(); ++b) histogram[b] += other.histogram[b];
+}
+
+double LongStat::variance() const {
+  if (count == 0) return 0.0;
+  const double m = mean();
+  return static_cast<double>(sum_squares) / count - m * m;
+}
+
+long LongStat::percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the wanted sample among the sorted stream, 1-based.
+  const long rank = std::max<long>(1, static_cast<long>(std::ceil(q * count)));
+  long seen = 0;
+  for (std::size_t b = 0; b < histogram.size(); ++b) {
+    seen += histogram[b];
+    if (seen >= rank) {
+      // Bucket b holds values in [2^(b-1), 2^b); report its inclusive top.
+      const long top = b == 0 ? 0 : static_cast<long>((1UL << b) - 1);
+      return std::clamp(top, min, max);
+    }
+  }
+  return max;
 }
 
 std::string LongStat::to_string() const {

@@ -15,12 +15,14 @@
 
 namespace lumi::campaign {
 
-/// Summary of a stream of non-negative long samples: count, exact sum,
-/// min/max and a log2 histogram (bucket b counts samples whose bit width is
-/// b, i.e. values in [2^(b-1), 2^b)); bucket 0 counts zeros.
+/// Summary of a stream of non-negative long samples: count, exact sum, exact
+/// sum of squares, min/max and a log2 histogram (bucket b counts samples
+/// whose bit width is b, i.e. values in [2^(b-1), 2^b)); bucket 0 counts
+/// zeros.
 struct LongStat {
   long count = 0;
   long long sum = 0;
+  long long sum_squares = 0;  ///< exact; overflows past ~9e6 samples of 1e6
   long min = 0;
   long max = 0;
   std::array<long, 32> histogram{};
@@ -28,6 +30,14 @@ struct LongStat {
   void add(long sample);
   void merge(const LongStat& other);
   double mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
+  /// Population variance, from the exact sums (order-independent).
+  double variance() const;
+  /// Upper-bound estimate of the q-quantile (q in [0,1]) from the log2
+  /// histogram: the top of the bucket holding the ceil(q*count)-th smallest
+  /// sample, clamped to [min, max].  Exact for 0/1-valued streams; within a
+  /// factor of 2 otherwise.  Order-independent, so merged shards agree.
+  long percentile(double q) const;
+
   std::string to_string() const;
 
   friend bool operator==(const LongStat&, const LongStat&) = default;

@@ -139,9 +139,7 @@ RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options) {
   throw std::invalid_argument("run_cell: bad SchedKind");
 }
 
-namespace {
-
-RunResult run_job_guarded(const Cell& cell, unsigned seed, const RunOptions& options) {
+RunResult run_cell_guarded(const Cell& cell, unsigned seed, const RunOptions& options) {
   try {
     return run_cell(cell, seed, options);
   } catch (const std::exception& e) {
@@ -150,8 +148,6 @@ RunResult run_job_guarded(const Cell& cell, unsigned seed, const RunOptions& opt
     return r;
   }
 }
-
-}  // namespace
 
 CampaignSummary run_campaign(const Expansion& expansion, unsigned threads) {
   const auto start = std::chrono::steady_clock::now();
@@ -164,7 +160,7 @@ CampaignSummary run_campaign(const Expansion& expansion, unsigned threads) {
                                               CampaignAccumulator(expansion.cells.size()));
   for (const Job& job : expansion.jobs) {
     pool.submit([&expansion, &per_worker, &pool, job] {
-      const RunResult result = run_job_guarded(expansion.cells[job.cell], job.seed,
+      const RunResult result = run_cell_guarded(expansion.cells[job.cell], job.seed,
                                                expansion.options);
       per_worker[static_cast<std::size_t>(pool.worker_index())].add(job.cell, result);
     });

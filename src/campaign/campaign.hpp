@@ -100,6 +100,10 @@ Expansion expand(const Matrix& matrix);
 /// Executes one job (used by the runner; exposed for tests/benches).
 RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options);
 
+/// Like run_cell, but converts an escaping exception into a RunResult whose
+/// failure string records it (campaigns never abort on a single bad job).
+RunResult run_cell_guarded(const Cell& cell, unsigned seed, const RunOptions& options);
+
 struct CellSummary {
   Cell cell;
   CellAccumulator acc;

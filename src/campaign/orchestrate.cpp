@@ -1,0 +1,223 @@
+#include "src/campaign/orchestrate.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/campaign/thread_pool.hpp"
+
+namespace lumi::campaign {
+
+namespace {
+
+bool seed_done(const CheckpointCell& cell, unsigned seed) {
+  return std::binary_search(cell.seeds_done.begin(), cell.seeds_done.end(), seed);
+}
+
+void record_seed(CheckpointCell& cell, unsigned seed) {
+  cell.seeds_done.insert(
+      std::lower_bound(cell.seeds_done.begin(), cell.seeds_done.end(), seed), seed);
+}
+
+/// Snapshots and atomically writes the checkpoint; serialization happens
+/// outside the state lock so workers keep running during I/O.  `version` is
+/// bumped (under the state lock) on every result added; a failed periodic
+/// write leaves the flushed version behind, so the next tick retries.
+class CheckpointFlusher {
+ public:
+  CheckpointFlusher(const std::string& path, double interval_seconds, std::mutex& state_mu,
+                    const Checkpoint& state, const std::uint64_t& version)
+      : path_(path), state_mu_(state_mu), state_(state), version_(version) {
+    if (path_.empty()) return;
+    thread_ = std::thread([this, interval_seconds] {
+      std::unique_lock lock(mu_);
+      const auto interval = std::chrono::duration<double>(std::max(interval_seconds, 0.01));
+      while (!stop_) {
+        cv_.wait_for(lock, interval);
+        if (stop_) return;
+        flush();
+      }
+    });
+  }
+
+  /// Stops the periodic thread and writes the final state; false when that
+  /// write fails (the checkpoint on disk is then stale — the caller must not
+  /// pretend the campaign is safely persisted).  True when no persistence
+  /// was configured.  Idempotent; also run by the destructor for exception
+  /// paths.
+  bool finish() {
+    if (!thread_.joinable()) return path_.empty() || flush();
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    return flush();
+  }
+
+  ~CheckpointFlusher() { finish(); }
+
+ private:
+  bool flush() {
+    Checkpoint snapshot;
+    std::uint64_t version;
+    {
+      std::lock_guard lock(state_mu_);
+      version = version_;
+      if (wrote_once_ && version == flushed_version_) return true;
+      snapshot = state_;
+    }
+    if (!checkpoint_write(path_, snapshot)) return false;
+    flushed_version_ = version;
+    wrote_once_ = true;
+    return true;
+  }
+
+  const std::string path_;
+  std::mutex& state_mu_;
+  const Checkpoint& state_;
+  const std::uint64_t& version_;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  // Touched only by the flusher thread, or after it is joined.
+  bool wrote_once_ = false;
+  std::uint64_t flushed_version_ = 0;
+};
+
+/// How many expansion jobs target each cell (= the cell's base seed count).
+std::vector<std::size_t> base_jobs_per_cell(const Expansion& expansion) {
+  std::vector<std::size_t> out(expansion.cells.size(), 0);
+  for (const Job& job : expansion.jobs) ++out[job.cell];
+  return out;
+}
+
+std::vector<Job> escalation_round(const Checkpoint& ck, const std::vector<std::size_t>& base,
+                                  const AdaptivePolicy& policy) {
+  std::vector<Job> out;
+  for (std::size_t i = 0; i < ck.cells.size(); ++i) {
+    const CheckpointCell& c = ck.cells[i];
+    if (sched_is_deterministic(c.cell.sched)) continue;
+    // A cell with no local base jobs belongs to another shard: its stats here
+    // are partial (or empty) and must not drive escalation.
+    if (base[i] == 0) continue;
+    if (c.seeds_done.size() < base[i]) continue;  // base pass incomplete here
+    const std::size_t extra_used = c.seeds_done.size() - base[i];
+    if (extra_used >= policy.max_extra_seeds) continue;
+    const bool unhealthy =
+        c.acc.termination_rate() < policy.min_termination_rate ||
+        (policy.instants_variance_threshold >= 0.0 &&
+         c.acc.instants.variance() > policy.instants_variance_threshold);
+    if (!unhealthy) continue;
+    const std::size_t budget =
+        std::min<std::size_t>(policy.seeds_per_round, policy.max_extra_seeds - extra_used);
+    unsigned next = c.seeds_done.empty() ? 1 : c.seeds_done.back() + 1;
+    for (std::size_t k = 0; k < budget; ++k) out.push_back({i, next++});
+  }
+  return out;
+}
+
+}  // namespace
+
+OrchestratorReport run_orchestrated(const Expansion& expansion,
+                                    const OrchestratorOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  Checkpoint ck = make_checkpoint(expansion);
+  if (!options.checkpoint_path.empty()) {
+    if (std::optional<Checkpoint> loaded = checkpoint_load(options.checkpoint_path)) {
+      if (loaded->fingerprint != ck.fingerprint) {
+        throw std::runtime_error("run_orchestrated: checkpoint '" + options.checkpoint_path +
+                                 "' belongs to a different matrix (fingerprint mismatch)");
+      }
+      if (loaded->cells.size() != ck.cells.size()) {
+        throw std::runtime_error("run_orchestrated: checkpoint cell count mismatch");
+      }
+      for (std::size_t i = 0; i < ck.cells.size(); ++i) {
+        if (!(loaded->cells[i].cell == ck.cells[i].cell)) {
+          throw std::runtime_error("run_orchestrated: checkpoint cell list mismatch");
+        }
+      }
+      ck = std::move(*loaded);
+    }
+  }
+
+  OrchestratorReport report;
+  std::mutex state_mu;
+  std::uint64_t version = 0;
+
+  {
+    ThreadPool pool(options.threads);
+    report.summary.threads = pool.size();
+    CheckpointFlusher flusher(options.checkpoint_path, options.flush_seconds, state_mu, ck,
+                              version);
+
+    // Submits every job not already covered by the checkpoint, honoring the
+    // per-invocation cap.  Returns false once the cap cut submission short.
+    const auto run_jobs = [&](const std::vector<Job>& jobs, bool base_pass) {
+      for (const Job& job : jobs) {
+        {
+          std::lock_guard lock(state_mu);
+          if (seed_done(ck.cells[job.cell], job.seed)) {
+            if (base_pass) ++report.jobs_skipped;
+            continue;
+          }
+        }
+        if (options.max_jobs != 0 && report.jobs_executed >= options.max_jobs) return false;
+        ++report.jobs_executed;
+        if (!base_pass) ++report.escalation_jobs;
+        pool.submit([&expansion, &ck, &state_mu, &version, job] {
+          const RunResult result =
+              run_cell_guarded(expansion.cells[job.cell], job.seed, expansion.options);
+          std::lock_guard lock(state_mu);
+          CheckpointCell& cell = ck.cells[job.cell];
+          cell.acc.add(result);
+          record_seed(cell, job.seed);
+          ++version;
+        });
+      }
+      return true;
+    };
+
+    report.complete = run_jobs(expansion.jobs, /*base_pass=*/true);
+    pool.wait_idle();
+
+    if (report.complete && options.adaptive.enabled) {
+      const std::vector<std::size_t> base = base_jobs_per_cell(expansion);
+      for (unsigned round = 0; round < options.adaptive.max_rounds; ++round) {
+        std::vector<Job> jobs;
+        {
+          std::lock_guard lock(state_mu);
+          jobs = escalation_round(ck, base, options.adaptive);
+        }
+        if (jobs.empty()) break;
+        ++report.escalation_rounds;
+        report.complete = run_jobs(jobs, /*base_pass=*/false);
+        pool.wait_idle();
+        if (!report.complete) break;
+      }
+    }
+    if (!flusher.finish()) {
+      throw std::runtime_error("run_orchestrated: failed to write checkpoint '" +
+                               options.checkpoint_path + "' — progress is NOT persisted");
+    }
+  }
+
+  const unsigned threads = report.summary.threads;
+  report.summary = checkpoint_summary(ck);
+  report.summary.threads = threads;
+  report.summary.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  report.checkpoint = std::move(ck);
+  return report;
+}
+
+}  // namespace lumi::campaign

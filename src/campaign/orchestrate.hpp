@@ -1,0 +1,61 @@
+// Campaign orchestration: resumable, checkpointed, adaptively escalating
+// execution of an expansion (or a shard of one).
+//
+// Results funnel into a Checkpoint under one lock (job execution dominates,
+// so contention is negligible); an aggregation thread periodically snapshots
+// it and writes the file via atomic rename, so a campaign killed at any
+// instant resumes from its last flush without re-running completed jobs.
+// Because every accumulator operation is an exact commutative integer
+// update, the final state is identical no matter how jobs interleave, shard
+// or resume.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/campaign/campaign.hpp"
+#include "src/campaign/checkpoint.hpp"
+
+namespace lumi::campaign {
+
+/// After the base pass, cells that misbehave — termination rate below
+/// `min_termination_rate` or instants variance above
+/// `instants_variance_threshold` — receive `seeds_per_round` fresh seeds per
+/// round (continuing past the highest seed consumed) until they recover or
+/// the `max_extra_seeds` per-cell budget runs out.  Cells under
+/// deterministic schedulers never escalate (the seed is ignored there).
+struct AdaptivePolicy {
+  bool enabled = false;
+  double min_termination_rate = 1.0;
+  double instants_variance_threshold = -1.0;  ///< negative: variance never escalates
+  unsigned seeds_per_round = 4;
+  unsigned max_extra_seeds = 16;
+  unsigned max_rounds = 8;
+};
+
+struct OrchestratorOptions {
+  unsigned threads = 0;            ///< 0 = all hardware threads
+  std::string checkpoint_path;     ///< empty: no persistence (in-memory only)
+  double flush_seconds = 5.0;      ///< periodic checkpoint flush interval
+  std::size_t max_jobs = 0;        ///< stop after N new jobs this invocation (0 = no cap)
+  AdaptivePolicy adaptive;
+};
+
+struct OrchestratorReport {
+  CampaignSummary summary;
+  Checkpoint checkpoint;           ///< final state (what the last flush wrote)
+  std::size_t jobs_skipped = 0;    ///< base jobs already done in the loaded checkpoint
+  std::size_t jobs_executed = 0;   ///< jobs newly run this invocation
+  std::size_t escalation_jobs = 0;
+  unsigned escalation_rounds = 0;
+  bool complete = true;            ///< false when max_jobs cut the run short
+};
+
+/// Runs the expansion's jobs that the checkpoint at
+/// `options.checkpoint_path` (if any) does not already cover, then any
+/// adaptive escalation rounds.  Throws std::runtime_error when an existing
+/// checkpoint belongs to a different matrix (fingerprint or cell mismatch).
+OrchestratorReport run_orchestrated(const Expansion& expansion,
+                                    const OrchestratorOptions& options);
+
+}  // namespace lumi::campaign

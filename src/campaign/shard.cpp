@@ -1,0 +1,37 @@
+#include "src/campaign/shard.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lumi::campaign {
+
+std::optional<ShardSpec> shard_from_string(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) return std::nullopt;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (i != slash && (text[i] < '0' || text[i] > '9')) return std::nullopt;
+  }
+  ShardSpec spec;
+  spec.index = static_cast<unsigned>(std::atol(text.substr(0, slash).c_str()));
+  spec.count = static_cast<unsigned>(std::atol(text.substr(slash + 1).c_str()));
+  if (spec.count == 0 || spec.index >= spec.count) return std::nullopt;
+  return spec;
+}
+
+std::string to_string(const ShardSpec& spec) {
+  return std::to_string(spec.index) + "/" + std::to_string(spec.count);
+}
+
+Expansion shard(const Expansion& full, const ShardSpec& spec) {
+  if (spec.count == 0) throw std::invalid_argument("shard: count must be positive");
+  if (spec.index >= spec.count) throw std::invalid_argument("shard: index out of range");
+  Expansion out;
+  out.cells = full.cells;
+  out.options = full.options;
+  for (std::size_t j = spec.index; j < full.jobs.size(); j += spec.count) {
+    out.jobs.push_back(full.jobs[j]);
+  }
+  return out;
+}
+
+}  // namespace lumi::campaign

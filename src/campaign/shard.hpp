@@ -1,0 +1,35 @@
+// Deterministic job sharding: `shard(expansion, {i, N})` keeps every cell of
+// the expansion (so cell indices — and therefore checkpoints — line up across
+// shards) but only the jobs whose expansion index is congruent to i mod N.
+// The N shards are pairwise disjoint and their union is exactly the full job
+// list, so merging shard checkpoints reproduces the single-process campaign
+// bit for bit.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/campaign/campaign.hpp"
+
+namespace lumi::campaign {
+
+/// Shard i of N (0-based index, index < count).
+struct ShardSpec {
+  unsigned index = 0;
+  unsigned count = 1;
+
+  friend bool operator==(const ShardSpec&, const ShardSpec&) = default;
+};
+
+/// Parses the CLI spelling "i/N" (e.g. "2/7"); std::nullopt on malformed
+/// input or an out-of-range index.
+std::optional<ShardSpec> shard_from_string(const std::string& text);
+
+std::string to_string(const ShardSpec& spec);
+
+/// The slice of `full` owned by `spec`: identical cells and options, jobs
+/// taken round-robin by expansion index.  Throws std::invalid_argument when
+/// spec.count == 0 or spec.index >= spec.count.
+Expansion shard(const Expansion& full, const ShardSpec& spec);
+
+}  // namespace lumi::campaign

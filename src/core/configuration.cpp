@@ -67,8 +67,14 @@ std::string Configuration::to_string() const {
   for (const auto& [node, ms] : by_node) {
     if (!first) out += ", ";
     first = false;
-    out += "(" + std::to_string(node.first) + "," + std::to_string(node.second) + "):" +
-           ms.to_string();
+    // Sequential appends: the chained operator+ form trips gcc-12's spurious
+    // -Wrestrict (PR105329).
+    out += '(';
+    out += std::to_string(node.first);
+    out += ',';
+    out += std::to_string(node.second);
+    out += "):";
+    out += ms.to_string();
   }
   out += "}";
   return out;

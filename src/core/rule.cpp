@@ -30,7 +30,7 @@ std::string offset_name(Vec offset) {
   for (int i = 0; i < offset.col; ++i) ew += 'E';
   // Diagonals are named row-part first: NE, SW, ...
   out += ew;
-  if (out.empty()) out = "C";
+  if (out.empty()) out.push_back('C');  // push_back: gcc-12 flags `= "C"` (-Wrestrict, PR105329)
   return out;
 }
 
@@ -42,9 +42,20 @@ CellPattern Rule::pattern_at(Vec offset) const {
 }
 
 std::string Rule::to_string() const {
-  std::string out = label + ": self=" + lumi::to_string(self);
-  for (const auto& [o, p] : cells) out += " " + offset_name(o) + "=" + p.to_string();
-  out += " -> " + lumi::to_string(new_color) + ",";
+  // Sequential appends rather than operator+ chains: gcc-12's inliner raises
+  // a spurious -Wrestrict (PR105329) on the chained form.
+  std::string out = label;
+  out += ": self=";
+  out += lumi::to_string(self);
+  for (const auto& [o, p] : cells) {
+    out += ' ';
+    out += offset_name(o);
+    out += '=';
+    out += p.to_string();
+  }
+  out += " -> ";
+  out += lumi::to_string(new_color);
+  out += ',';
   out += move.has_value() ? lumi::to_string(*move) : std::string("Idle");
   return out;
 }

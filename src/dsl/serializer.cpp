@@ -60,7 +60,12 @@ std::string serialize(const Algorithm& alg) {
         const ColorMultiset self_only{rule.self};
         if (pattern == CellPattern::exactly(self_only)) continue;  // default center
       }
-      out += " " + offset_name(offset) + "=" + pattern_text(pattern);
+      // Sequential appends: the chained operator+ form trips gcc-12's
+      // spurious -Wrestrict (PR105329).
+      out += ' ';
+      out += offset_name(offset);
+      out += '=';
+      out += pattern_text(pattern);
     }
     out += " -> ";
     out += color_letter(rule.new_color);

@@ -22,7 +22,7 @@ std::string render(const Configuration& config) {
         const Color col = static_cast<Color>(i);
         cell.append(static_cast<std::size_t>(ms.count(col)), color_letter(col));
       }
-      if (cell.empty()) cell = ".";
+      if (cell.empty()) cell.push_back('.');  // gcc-12 flags `= "."` (-Wrestrict, PR105329)
       cell.resize(static_cast<std::size_t>(width), ' ');
       out += cell;
       if (c + 1 < grid.cols()) out += ' ';

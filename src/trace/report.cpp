@@ -22,11 +22,17 @@ void csv_stat_columns(std::ostringstream& out, const LongStat& stat) {
   out << ',' << fmt_double(stat.mean()) << ',' << stat.min << ',' << stat.max;
 }
 
+void csv_percentile_columns(std::ostringstream& out, const LongStat& stat) {
+  out << ',' << stat.percentile(0.50) << ',' << stat.percentile(0.90) << ','
+      << stat.percentile(0.99);
+}
+
 void json_stat(std::ostringstream& out, const char* name, const LongStat& stat,
                const char* indent) {
   out << indent << "\"" << name << "\": {\"mean\": " << fmt_double(stat.mean())
       << ", \"min\": " << stat.min << ", \"max\": " << stat.max << ", \"sum\": " << stat.sum
-      << "}";
+      << ", \"p50\": " << stat.percentile(0.50) << ", \"p90\": " << stat.percentile(0.90)
+      << ", \"p99\": " << stat.percentile(0.99) << "}";
 }
 
 void json_accumulator(std::ostringstream& out, const CellAccumulator& acc, const char* indent) {
@@ -100,7 +106,9 @@ std::string campaign_csv(const campaign::CampaignSummary& summary) {
          "activations_mean,activations_min,activations_max,"
          "moves_mean,moves_min,moves_max,"
          "color_changes_mean,color_changes_min,color_changes_max,"
-         "visited_mean,visited_min,visited_max\n";
+         "visited_mean,visited_min,visited_max,"
+         "instants_p50,instants_p90,instants_p99,"
+         "moves_p50,moves_p90,moves_p99\n";
   for (const CellSummary& cell : summary.cells) {
     const CellAccumulator& a = cell.acc;
     out << csv_field(cell.cell.section) << ',' << cell.cell.rows << ',' << cell.cell.cols << ','
@@ -112,6 +120,8 @@ std::string campaign_csv(const campaign::CampaignSummary& summary) {
     csv_stat_columns(out, a.moves);
     csv_stat_columns(out, a.color_changes);
     csv_stat_columns(out, a.visited);
+    csv_percentile_columns(out, a.instants);
+    csv_percentile_columns(out, a.moves);
     out << '\n';
   }
   return out.str();
@@ -119,10 +129,12 @@ std::string campaign_csv(const campaign::CampaignSummary& summary) {
 
 std::string campaign_json(const campaign::CampaignSummary& summary) {
   std::ostringstream out;
+  // No threads/wall_seconds here: reports describe the campaign's *result*,
+  // which is identical across thread counts, shardings and resumes — the
+  // byte-identity contract campaign_merge relies on.  Execution environment
+  // goes to stdout instead.
   out << "{\n";
   out << "  \"jobs\": " << summary.jobs << ",\n";
-  out << "  \"threads\": " << summary.threads << ",\n";
-  out << "  \"wall_seconds\": " << fmt_double(summary.wall_seconds) << ",\n";
   out << "  \"cells\": [\n";
   for (std::size_t i = 0; i < summary.cells.size(); ++i) {
     const CellSummary& cell = summary.cells[i];

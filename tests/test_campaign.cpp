@@ -99,6 +99,48 @@ TEST(Aggregate, LongStatRejectsNegativeSamples) {
   EXPECT_THROW(s.add(-1), std::invalid_argument);
 }
 
+TEST(Aggregate, VarianceFromExactSums) {
+  LongStat s;
+  EXPECT_EQ(s.variance(), 0.0);  // empty stream
+  for (long v : {2, 4, 4, 4, 5, 5, 7, 9}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // the classic population-variance example
+  LongStat constant;
+  for (int i = 0; i < 5; ++i) constant.add(6);
+  EXPECT_DOUBLE_EQ(constant.variance(), 0.0);
+}
+
+TEST(Aggregate, PercentileBoundsFollowTheHistogram) {
+  LongStat zeros;
+  for (int i = 0; i < 10; ++i) zeros.add(0);
+  EXPECT_EQ(zeros.percentile(0.5), 0);
+  EXPECT_EQ(zeros.percentile(0.99), 0);
+
+  // 99 samples of 1 and one of 1000: p50/p90 sit in the ones bucket, p99+
+  // reaches the outlier's bucket (clamped to the true max).
+  LongStat skew;
+  for (int i = 0; i < 99; ++i) skew.add(1);
+  skew.add(1000);
+  EXPECT_EQ(skew.percentile(0.50), 1);
+  EXPECT_EQ(skew.percentile(0.90), 1);
+  EXPECT_EQ(skew.percentile(1.00), 1000);
+  EXPECT_GE(skew.percentile(0.995), 512);   // outlier bucket [512, 1024)
+  EXPECT_LE(skew.percentile(0.995), 1000);  // never past the observed max
+
+  EXPECT_EQ(LongStat{}.percentile(0.5), 0);  // empty stream
+}
+
+TEST(Aggregate, PercentilesAgreeAcrossMergeSplits) {
+  const std::vector<long> samples = {0, 1, 5, 9, 1024, 3, 3, 77, 12, 12, 200};
+  LongStat all;
+  for (long s : samples) all.add(s);
+  LongStat left, right;
+  for (std::size_t i = 0; i < samples.size(); ++i) (i % 3 == 0 ? left : right).add(samples[i]);
+  LongStat merged = right;
+  merged.merge(left);
+  for (double q : {0.5, 0.9, 0.99}) EXPECT_EQ(merged.percentile(q), all.percentile(q)) << q;
+  EXPECT_EQ(merged.sum_squares, all.sum_squares);
+}
+
 TEST(Aggregate, MergeRequiresMatchingCellCounts) {
   CampaignAccumulator a(2), b(3);
   EXPECT_THROW(a.merge(b), std::invalid_argument);
