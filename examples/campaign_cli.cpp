@@ -42,25 +42,20 @@ struct Args {
   campaign::AdaptivePolicy adaptive;
 };
 
-/// Parses "8", "4..64" or "4..64:12" into an inclusive stepped range.
+/// Wraps campaign::range_from_string with a loud diagnostic: a bad range
+/// (zero/negative step, garbage text) must abort with a clear message, never
+/// hang in or overshoot the sweep loop.
 bool parse_range(const std::string& text, campaign::IntRange& range) {
-  campaign::IntRange out{0, 0, 1};
-  const std::size_t dots = text.find("..");
-  if (dots == std::string::npos) {
-    out.from = out.to = std::atoi(text.c_str());
-    range = out;
-    return out.from > 0;
+  const std::optional<campaign::IntRange> parsed = campaign::range_from_string(text);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "bad range '%s': expected N, FROM..TO or FROM..TO:STEP "
+                 "with positive FROM and STEP >= 1\n",
+                 text.c_str());
+    return false;
   }
-  out.from = std::atoi(text.substr(0, dots).c_str());
-  std::string rest = text.substr(dots + 2);
-  const std::size_t colon = rest.find(':');
-  if (colon != std::string::npos) {
-    out.step = std::atoi(rest.substr(colon + 1).c_str());
-    rest = rest.substr(0, colon);
-  }
-  out.to = std::atoi(rest.c_str());
-  range = out;
-  return out.from > 0 && out.step > 0;
+  range = *parsed;
+  return true;
 }
 
 std::vector<std::string> split_csv(const std::string& text) {

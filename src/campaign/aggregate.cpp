@@ -38,14 +38,23 @@ void LongStat::merge(const LongStat& other) {
 }
 
 double LongStat::variance() const {
-  if (count == 0) return 0.0;
+  // A single-sample cell (every deterministic-scheduler cell has n = 1) has
+  // zero spread by definition; the sum-of-squares formula would answer with
+  // double-rounding noise — possibly negative — for large samples.
+  if (count <= 1) return 0.0;
   const double m = mean();
-  return static_cast<double>(sum_squares) / count - m * m;
+  // Clamp: catastrophic cancellation can push the exact-sums formula a few
+  // ulps below zero, and a negative variance breaks sqrt/threshold callers.
+  return std::max(0.0, static_cast<double>(sum_squares) / count - m * m);
 }
 
 long LongStat::percentile(double q) const {
   if (count == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
+  // NaN-safe clamp (std::clamp passes NaN through, and casting a NaN rank to
+  // long is UB): any non-finite or out-of-range q degrades to the nearest
+  // bound.
+  if (!(q > 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
   // Rank of the wanted sample among the sorted stream, 1-based.
   const long rank = std::max<long>(1, static_cast<long>(std::ceil(q * count)));
   long seen = 0;

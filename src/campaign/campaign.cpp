@@ -1,7 +1,9 @@
 #include "src/campaign/campaign.hpp"
 
 #include <chrono>
+#include <cstdint>
 #include <exception>
+#include <limits>
 #include <stdexcept>
 
 #include "src/algorithms/registry.hpp"
@@ -62,8 +64,51 @@ bool compatible(Synchrony model, SchedKind kind) {
 
 std::vector<int> IntRange::values() const {
   std::vector<int> out;
-  if (step <= 0) throw std::invalid_argument("IntRange: step must be positive");
-  for (int v = from; v <= to; v += step) out.push_back(v);
+  if (step <= 0) {
+    throw std::invalid_argument("IntRange: step must be positive, got " + std::to_string(step));
+  }
+  // The loop variable is widened to 64 bits so `v += step` cannot overflow
+  // (and so a huge step can never spin or overshoot past `to`); `to` itself
+  // is always emitted, aligned with `step` or not.
+  for (std::int64_t v = from; v < to; v += step) out.push_back(static_cast<int>(v));
+  if (from <= to) out.push_back(to);
+  return out;
+}
+
+std::optional<IntRange> range_from_string(const std::string& text) {
+  // Strict base-10 integer: no sign-only/empty/trailing-garbage inputs.
+  // 64-bit accumulator: the overflow check must hold even where long is
+  // 32 bits (LLP64).
+  const auto parse_int = [](const std::string& s, int& out) {
+    if (s.empty()) return false;
+    std::int64_t v = 0;
+    std::size_t i = s[0] == '-' ? 1 : 0;
+    if (i == s.size()) return false;
+    for (; i < s.size(); ++i) {
+      if (s[i] < '0' || s[i] > '9') return false;
+      v = v * 10 + (s[i] - '0');
+      if (v > std::numeric_limits<int>::max()) return false;
+    }
+    out = static_cast<int>(s[0] == '-' ? -v : v);
+    return true;
+  };
+  IntRange out{0, 0, 1};
+  const std::size_t dots = text.find("..");
+  if (dots == std::string::npos) {
+    if (!parse_int(text, out.from) || out.from <= 0) return std::nullopt;
+    out.to = out.from;
+    return out;
+  }
+  std::string rest = text.substr(dots + 2);
+  const std::size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    if (!parse_int(rest.substr(colon + 1), out.step) || out.step <= 0) return std::nullopt;
+    rest = rest.substr(0, colon);
+  }
+  if (!parse_int(text.substr(0, dots), out.from) || !parse_int(rest, out.to)) {
+    return std::nullopt;
+  }
+  if (out.from <= 0) return std::nullopt;
   return out;
 }
 

@@ -43,14 +43,24 @@ Synchrony sched_synchrony(SchedKind kind);
 /// model the algorithm tolerates.
 bool compatible(Synchrony model, SchedKind kind);
 
-/// Inclusive integer range `from..to` advancing by `step`.
+/// Inclusive integer range `from..to` advancing by `step`.  Both endpoints
+/// are always emitted: `to` appears even when `to - from` is not a multiple
+/// of `step` (so "4..64:12" covers the 64-column edge it names).
 struct IntRange {
   int from = 0;
   int to = -1;  ///< default-constructed range is empty
   int step = 1;
 
+  /// Throws std::invalid_argument on a non-positive step.
   std::vector<int> values() const;
 };
+
+/// Parses the campaign CLI range grammar — "8", "4..64" or "4..64:12" —
+/// into an inclusive stepped range.  std::nullopt (with nothing written
+/// anywhere) on malformed text, a non-positive lower bound, or a
+/// zero/negative step; an empty range ("6..4") parses fine and simply
+/// expands to nothing.
+std::optional<IntRange> range_from_string(const std::string& text);
 
 /// Declarative scenario matrix.  Sections name Table-1 rows in the registry;
 /// unknown sections throw at expansion time.

@@ -35,7 +35,50 @@ std::string matcher_fingerprint(const Algorithm& alg) {
   return fp;
 }
 
+/// Folds one guard cell's pattern into the row's prefilter planes.  Only
+/// constraints that are *implied* by a match are recorded (the planes must
+/// never reject a matching snapshot); the dense walk still decides exact
+/// multiset equality.
+void fold_into_planes(CompiledRule& rule, std::size_t s, std::size_t w,
+                      const CellPattern& pattern) {
+  const auto bit = static_cast<std::uint16_t>(1u << w);
+  switch (pattern.kind()) {
+    case CellPattern::Kind::Empty:
+      rule.forbid_occupied[s] |= bit;
+      rule.forbid_wall[s] |= bit;
+      break;
+    case CellPattern::Kind::Wall:
+      rule.need_wall[s] |= bit;
+      break;
+    case CellPattern::Kind::EmptyOrWall:
+      rule.forbid_occupied[s] |= bit;
+      break;
+    case CellPattern::Kind::Multiset:
+      rule.forbid_wall[s] |= bit;
+      if (pattern.multiset().empty()) {
+        rule.forbid_occupied[s] |= bit;
+      } else {
+        rule.need_occupied[s] |= bit;
+      }
+      break;
+    case CellPattern::Kind::Any: break;
+  }
+}
+
 }  // namespace
+
+SnapshotPlanes snapshot_planes(const Snapshot& snap, int kernel_size) {
+  SnapshotPlanes planes;
+  for (int w = 0; w < kernel_size; ++w) {
+    const CellContent& cell = snap.cells[static_cast<std::size_t>(w)];
+    if (cell.wall) {
+      planes.wall |= static_cast<std::uint16_t>(1u << w);
+    } else if (!cell.robots.empty()) {
+      planes.occupied |= static_cast<std::uint16_t>(1u << w);
+    }
+  }
+  return planes;
+}
 
 CompiledAlgorithm::CompiledAlgorithm(const Algorithm& alg)
     : phi_(alg.phi),
@@ -58,6 +101,9 @@ CompiledAlgorithm::CompiledAlgorithm(const Algorithm& alg)
       // scattering each pattern to its world slot yields the dense row.
       for (std::size_t i = 0; i < ks; ++i) {
         compiled.patterns[s * ks + perm[i]] = rule.pattern_at(offsets[i]);
+      }
+      for (std::size_t w = 0; w < ks; ++w) {
+        fold_into_planes(compiled, s, w, compiled.patterns[s * ks + w]);
       }
       compiled.move_by_sym[s] =
           rule.move.has_value() ? static_cast<std::int8_t>(apply(sym, *rule.move))

@@ -27,6 +27,16 @@
 
 namespace lumi {
 
+/// Bitset planes over the kernel cells of one snapshot (bit w = cell w):
+/// which cells are occupied by at least one robot, and which are walls.
+/// kMaxKernelSize = 13 bits fit one u16 each.
+struct SnapshotPlanes {
+  std::uint16_t occupied = 0;
+  std::uint16_t wall = 0;
+};
+
+SnapshotPlanes snapshot_planes(const Snapshot& snap, int kernel_size);
+
 /// One rule compiled against the view kernel.  Field order mirrors Action
 /// construction in the matcher.
 struct CompiledRule {
@@ -37,6 +47,23 @@ struct CompiledRule {
   std::vector<CellPattern> patterns;
   /// Movement premapped to the global frame per symmetry; -1 = stay.
   std::array<std::int8_t, 8> move_by_sym{};
+  /// Guard-row prefilter planes, derived from each cell's pattern kind and
+  /// multiset: cells the guard requires occupied / forbids occupied, and
+  /// requires / forbids to be walls, per symmetry.  A snapshot whose
+  /// SnapshotPlanes violate any of them cannot match the row, so the dense
+  /// pattern walk is skipped entirely.
+  std::array<std::uint16_t, 8> need_occupied{};
+  std::array<std::uint16_t, 8> forbid_occupied{};
+  std::array<std::uint16_t, 8> need_wall{};
+  std::array<std::uint16_t, 8> forbid_wall{};
+
+  /// True when the planes alone rule out a match under symmetry slot `s`.
+  bool planes_reject(std::size_t s, SnapshotPlanes planes) const {
+    return ((need_occupied[s] & static_cast<std::uint16_t>(~planes.occupied)) |
+            (forbid_occupied[s] & planes.occupied) |
+            (need_wall[s] & static_cast<std::uint16_t>(~planes.wall)) |
+            (forbid_wall[s] & planes.wall)) != 0;
+  }
 };
 
 class CompiledAlgorithm {

@@ -20,11 +20,17 @@ void Configuration::move_robot(int i, Vec to) {
   Robot& r = robots_.at(static_cast<std::size_t>(i));
   if (!grid_.contains(to)) throw std::logic_error("move_robot: target outside the grid");
   if (manhattan(r.pos, to) != 1) throw std::logic_error("move_robot: target not adjacent");
+  const int to_index = grid_.index(to);
+  const int from_index = grid_.index(r.pos);
   // Add before remove: add can throw (destination stack overflow) and must
   // do so before any state changed; removing a present color cannot throw.
-  occupancy_[static_cast<std::size_t>(grid_.index(to))].add(r.color);
-  occupancy_[static_cast<std::size_t>(grid_.index(r.pos))].remove(r.color);
+  occupancy_[static_cast<std::size_t>(to_index)].add(r.color);
+  occupancy_[static_cast<std::size_t>(from_index)].remove(r.color);
   r.pos = to;
+  if (journal_enabled_) {
+    journal_.push_back(from_index);
+    journal_.push_back(to_index);
+  }
 }
 
 std::vector<Robot> Configuration::canonical_robots() const {

@@ -7,9 +7,15 @@
 // The configuration keeps a grid-indexed occupancy array incrementally
 // up to date in move_robot/set_color, so cell() and multiset_at() — the
 // snapshot hot path — are O(1) lookups instead of O(robots) scans.
+//
+// An opt-in change journal records the node indices whose content changed
+// (a recolor touches one node, a move two); the incremental match layer
+// (DirtyTracker) drains it to decide which robots' neighborhoods must be
+// re-matched between instants.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -46,12 +52,14 @@ class Configuration {
   void set_color(int i, Color c) {
     Robot& r = robots_.at(static_cast<std::size_t>(i));
     if (c == r.color) return;
-    ColorMultiset& node = occupancy_[static_cast<std::size_t>(grid_.index(r.pos))];
+    const int node_index = grid_.index(r.pos);
+    ColorMultiset& node = occupancy_[static_cast<std::size_t>(node_index)];
     // Add before remove: add can throw (per-color counter overflow) and must
     // do so before any state changed; removing a present color cannot throw.
     node.add(c);
     node.remove(r.color);
     r.color = c;
+    if (journal_enabled_) journal_.push_back(node_index);
   }
   /// Moves robot `i` to `to`; throws std::logic_error if `to` is off-grid or
   /// not adjacent to the robot's current node (robots move along edges).
@@ -81,11 +89,26 @@ class Configuration {
   /// Paper-style rendering: "{(0,0):{G}, (0,1):{W}}" sorted by node.
   std::string to_string() const;
 
+  /// Enables (or disables) the change journal, clearing any recorded
+  /// entries.  While enabled, every set_color/move_robot appends the node
+  /// indices it touched (duplicates possible; readers deduplicate).
+  void set_journal(bool enabled) {
+    journal_enabled_ = enabled;
+    journal_.clear();
+  }
+  bool journal_enabled() const { return journal_enabled_; }
+  /// Node indices whose occupancy/color content changed since the last
+  /// clear_journal(); empty when journaling is disabled.
+  std::span<const int> journal() const { return journal_; }
+  void clear_journal() { journal_.clear(); }
+
  private:
   Grid grid_;
   std::vector<Robot> robots_;
   /// Node-indexed color multisets, maintained incrementally.
   std::vector<ColorMultiset> occupancy_;
+  bool journal_enabled_ = false;
+  std::vector<int> journal_;
 };
 
 /// Convenience: builds a configuration from (node, colors...) placements.

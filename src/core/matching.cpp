@@ -38,13 +38,22 @@ Action make_action(const CompiledRule& rule, std::span<const Sym> syms, std::siz
 // --- compiled fast path ------------------------------------------------------
 
 std::vector<Action> enabled_actions(const CompiledAlgorithm& alg, const Snapshot& snap) {
-  check_phi(alg, snap);
   std::vector<Action> out;
+  enabled_actions_into(alg, snap, out);
+  return out;
+}
+
+void enabled_actions_into(const CompiledAlgorithm& alg, const Snapshot& snap,
+                          std::vector<Action>& out) {
+  check_phi(alg, snap);
+  out.clear();
   const int ks = alg.kernel_size();
+  const SnapshotPlanes planes = snapshot_planes(snap, ks);
   const std::span<const Sym> syms = alg.symmetries();
   for (const CompiledRule& rule : alg.rules_for(snap.self_color)) {
     const CellPattern* row = rule.patterns.data();
     for (std::size_t s = 0; s < syms.size(); ++s, row += ks) {
+      if (rule.planes_reject(s, planes)) continue;
       if (!row_matches(row, snap, ks)) continue;
       const Action act = make_action(rule, syms, s);
       bool duplicate = false;
@@ -57,7 +66,6 @@ std::vector<Action> enabled_actions(const CompiledAlgorithm& alg, const Snapshot
       if (!duplicate) out.push_back(act);
     }
   }
-  return out;
 }
 
 std::vector<Action> enabled_actions(const CompiledAlgorithm& alg, const Configuration& config,
@@ -68,10 +76,12 @@ std::vector<Action> enabled_actions(const CompiledAlgorithm& alg, const Configur
 std::optional<Action> first_enabled(const CompiledAlgorithm& alg, const Snapshot& snap) {
   check_phi(alg, snap);
   const int ks = alg.kernel_size();
+  const SnapshotPlanes planes = snapshot_planes(snap, ks);
   const std::span<const Sym> syms = alg.symmetries();
   for (const CompiledRule& rule : alg.rules_for(snap.self_color)) {
     const CellPattern* row = rule.patterns.data();
     for (std::size_t s = 0; s < syms.size(); ++s, row += ks) {
+      if (rule.planes_reject(s, planes)) continue;
       if (row_matches(row, snap, ks)) return make_action(rule, syms, s);
     }
   }

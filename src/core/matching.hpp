@@ -47,6 +47,10 @@ struct Action {
 std::vector<Action> enabled_actions(const CompiledAlgorithm& alg, const Snapshot& snap);
 std::vector<Action> enabled_actions(const CompiledAlgorithm& alg, const Configuration& config,
                                     int robot);
+/// In-place variant reusing `out`'s capacity (the incremental tracker's
+/// recompute loop calls this once per dirty robot).
+void enabled_actions_into(const CompiledAlgorithm& alg, const Snapshot& snap,
+                          std::vector<Action>& out);
 
 /// First enabled action in rule-then-symmetry order, or nullopt when the
 /// robot is disabled.  Allocation-free: no action vector is built.

@@ -1,0 +1,45 @@
+// Portable scheduler randomness.
+//
+// std::mt19937's output stream is fully specified by the standard, but the
+// algorithms std::uniform_int_distribution and std::shuffle layer on top of
+// it are implementation-defined, so libstdc++ and libc++ draw different
+// values from identical seeds.  Schedulers draw through this in-repo Lemire
+// bounded draw and Fisher-Yates shuffle instead, which makes every scheduler
+// decision — and therefore campaign reports and checkpoints — byte-identical
+// across compilers and platforms, not just across thread counts.
+// tests/test_schedulers.cpp pins golden sequences.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+namespace lumi {
+
+/// Unbiased draw from [0, n) using Lemire's nearly-divisionless method
+/// (https://arxiv.org/abs/1805.10941).  Precondition: n >= 1.
+inline std::uint32_t bounded_draw(std::mt19937& rng, std::uint32_t n) {
+  std::uint64_t m = static_cast<std::uint64_t>(rng()) * n;
+  auto low = static_cast<std::uint32_t>(m);
+  if (low < n) {
+    const std::uint32_t threshold = (0u - n) % n;  // 2^32 mod n
+    while (low < threshold) {
+      m = static_cast<std::uint64_t>(rng()) * n;
+      low = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32);
+}
+
+/// In-place Fisher-Yates shuffle driven by bounded_draw (the portable
+/// std::shuffle replacement).
+template <typename T>
+void fisher_yates(std::vector<T>& items, std::mt19937& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    using std::swap;
+    swap(items[i - 1], items[bounded_draw(rng, static_cast<std::uint32_t>(i))]);
+  }
+}
+
+}  // namespace lumi

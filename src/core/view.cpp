@@ -39,17 +39,21 @@ const CellContent& Snapshot::at(Vec offset) const {
 }
 
 Snapshot take_snapshot(const Configuration& config, int robot, int phi) {
+  Snapshot snap;
+  take_snapshot_into(config, robot, phi, snap);
+  return snap;
+}
+
+void take_snapshot_into(const Configuration& config, int robot, int phi, Snapshot& out) {
   const ViewKernel& kernel = ViewKernel::get(phi);
   const Robot& r = config.robot(robot);
-  Snapshot snap;
-  snap.origin = r.pos;
-  snap.self_color = r.color;
-  snap.phi = phi;
+  out.origin = r.pos;
+  out.self_color = r.color;
+  out.phi = phi;
   const std::span<const Vec> offsets = kernel.offsets();
   for (std::size_t i = 0; i < offsets.size(); ++i) {
-    snap.cells[i] = config.cell(r.pos + offsets[i]);
+    out.cells[i] = config.cell(r.pos + offsets[i]);
   }
-  return snap;
 }
 
 }  // namespace lumi

@@ -80,4 +80,9 @@ struct Snapshot {
 
 Snapshot take_snapshot(const Configuration& config, int robot, int phi);
 
+/// Fills `out` in place instead of returning a fresh Snapshot, so callers
+/// that take many snapshots (the engines' robot loops, the incremental
+/// tracker) can reuse one inline buffer for the whole loop.
+void take_snapshot_into(const Configuration& config, int robot, int phi, Snapshot& out);
+
 }  // namespace lumi

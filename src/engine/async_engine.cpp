@@ -4,12 +4,14 @@
 
 namespace lumi {
 
-AsyncEngine::AsyncEngine(const Algorithm& alg, Configuration initial)
+AsyncEngine::AsyncEngine(const Algorithm& alg, Configuration initial, bool incremental)
     : alg_(&alg),
       compiled_(CompiledAlgorithm::get(alg)),
       config_(std::move(initial)),
       phases_(static_cast<std::size_t>(config_.num_robots()), Phase::Idle),
-      pending_(static_cast<std::size_t>(config_.num_robots())) {}
+      pending_(static_cast<std::size_t>(config_.num_robots())) {
+  if (incremental) tracker_ = std::make_unique<DirtyTracker>(compiled_, config_);
+}
 
 const Action& AsyncEngine::pending(int robot) const {
   if (phase(robot) == Phase::Idle) throw std::logic_error("pending: robot has no pending action");
@@ -19,13 +21,16 @@ const Action& AsyncEngine::pending(int robot) const {
 std::vector<int> AsyncEngine::effective_robots() const {
   std::vector<int> out;
   for (int i = 0; i < config_.num_robots(); ++i) {
-    if (phase(i) != Phase::Idle || is_enabled(*compiled_, config_, i)) out.push_back(i);
+    const bool idle_enabled =
+        tracker_ ? tracker_->enabled(i) : is_enabled(*compiled_, config_, i);
+    if (phase(i) != Phase::Idle || idle_enabled) out.push_back(i);
   }
   return out;
 }
 
 std::vector<Action> AsyncEngine::look_choices(int robot) const {
   if (phase(robot) != Phase::Idle) throw std::logic_error("look_choices: robot mid-cycle");
+  if (tracker_) return tracker_->actions(robot);
   return enabled_actions(*compiled_, config_, robot);
 }
 
@@ -85,6 +90,7 @@ void AsyncEngine::activate(int robot, std::optional<Action> chosen) {
       if (chosen.has_value()) throw std::logic_error("activate: choice only valid at Look");
       config_.set_color(robot, pending_[static_cast<std::size_t>(robot)].new_color);
       phase = Phase::Colored;
+      if (tracker_) tracker_->refresh();
       return;
     }
     case Phase::Colored: {
@@ -98,6 +104,7 @@ void AsyncEngine::activate(int robot, std::optional<Action> chosen) {
         config_.move_robot(robot, to);
       }
       phase = Phase::Idle;
+      if (tracker_) tracker_->refresh();
       return;
     }
   }
@@ -107,6 +114,7 @@ bool AsyncEngine::terminal() const {
   for (int i = 0; i < config_.num_robots(); ++i) {
     if (phase(i) != Phase::Idle) return false;
   }
+  if (tracker_) return !tracker_->any_enabled();
   return is_terminal(*compiled_, config_);
 }
 

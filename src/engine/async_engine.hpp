@@ -13,9 +13,11 @@
 // engine collapses such cycles into no-ops (they are unobservable).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "src/core/incremental.hpp"
 #include "src/core/matching.hpp"
 
 namespace lumi {
@@ -28,7 +30,16 @@ enum class Phase : std::uint8_t {
 
 class AsyncEngine {
  public:
-  AsyncEngine(const Algorithm& alg, Configuration initial);
+  /// With `incremental` (the default) enablement queries are answered from
+  /// the dirty tracker, re-matching only robots whose view covers a cell the
+  /// last event changed — Look events change nothing, so two of every three
+  /// events refresh for free.  Off = recompute-per-query reference path;
+  /// observable behavior is identical either way.
+  explicit AsyncEngine(const Algorithm& alg, Configuration initial, bool incremental = true);
+
+  // The tracker holds a pointer into config_, so the engine must not move.
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
 
   const Algorithm& algorithm() const { return *alg_; }
   const Configuration& config() const { return config_; }
@@ -51,12 +62,18 @@ class AsyncEngine {
   /// Terminal: every robot Idle and none enabled — the execution is maximal.
   bool terminal() const;
 
+  /// Dirty-tracker reuse/recompute totals; zero on the recompute path.
+  DirtyTracker::Counters match_counters() const {
+    return tracker_ ? tracker_->counters() : DirtyTracker::Counters{};
+  }
+
  private:
   const Algorithm* alg_;
   std::shared_ptr<const CompiledAlgorithm> compiled_;
   Configuration config_;
   std::vector<Phase> phases_;
   std::vector<Action> pending_;
+  std::unique_ptr<DirtyTracker> tracker_;  ///< null when incremental is off
 };
 
 }  // namespace lumi

@@ -1,13 +1,18 @@
 #include "src/engine/runner.hpp"
 
+#include <optional>
 #include <stdexcept>
+
+#include "src/core/incremental.hpp"
 
 namespace lumi {
 
 namespace {
 
 void mark_visited(std::vector<bool>& visited, const Grid& grid, const Configuration& config) {
-  for (const Robot& r : config.robots()) visited[static_cast<std::size_t>(grid.index(r.pos))] = true;
+  for (const Robot& r : config.robots()) {
+    visited[static_cast<std::size_t>(grid.index(r.pos))] = true;
+  }
 }
 
 bool all_visited(const std::vector<bool>& visited) {
@@ -32,30 +37,52 @@ RunResult run_sync(const Algorithm& alg, const Grid& grid, SyncScheduler& sched,
   // Compile the matcher once per run; every instant reuses the shared tables.
   const std::shared_ptr<const CompiledAlgorithm> compiled = CompiledAlgorithm::get(alg);
   Configuration config = alg.initial_configuration(grid);
+  // With dirty tracking, each instant re-matches only the robots whose view
+  // covers a cell the previous instant changed; everyone else keeps the
+  // cached verdict.  `tracker` outlives the loop so verdicts carry across
+  // instants.  (Declared after `config`: it holds a pointer into it.)
+  std::optional<DirtyTracker> tracker;
+  if (opts.incremental) tracker.emplace(compiled, config);
+  std::vector<std::vector<Action>> scratch;
+  const auto copy_counters = [&](RunResult& r) {
+    if (!tracker) return;
+    r.stats.match_reused = tracker->counters().reused;
+    r.stats.match_recomputed = tracker->counters().recomputed;
+  };
   RunResult result;
   result.visited.assign(static_cast<std::size_t>(grid.num_nodes()), false);
   mark_visited(result.visited, grid, config);
   if (opts.record_trace) result.trace.push(config, "initial");
 
   for (long step = 0; step < opts.max_steps; ++step) {
-    const auto enabled = all_enabled_actions(*compiled, config);
+    const std::vector<std::vector<Action>>& enabled = [&]() -> const auto& {
+      if (tracker) {
+        tracker->refresh();
+        return tracker->all_actions();
+      }
+      scratch = all_enabled_actions(*compiled, config);
+      return scratch;
+    }();
     bool any_enabled = false;
     for (const auto& actions : enabled) {
       any_enabled = any_enabled || !actions.empty();
       if (opts.require_unique_actions && actions.size() > 1) {
         result.failure = "robot has multiple distinct enabled behaviors at instant " +
                          std::to_string(step) + " in " + config.to_string();
+        copy_counters(result);
         return result;
       }
     }
     if (!any_enabled) {
       result.terminated = true;
       result.explored_all = all_visited(result.visited);
+      copy_counters(result);
       return result;
     }
     const std::vector<RobotAction> selected = sched.select(config, enabled);
     if (selected.empty()) {
       result.failure = "scheduler returned an empty selection";
+      copy_counters(result);
       return result;
     }
     std::string note;
@@ -72,22 +99,28 @@ RunResult run_sync(const Algorithm& alg, const Grid& grid, SyncScheduler& sched,
     if (opts.record_trace) result.trace.push(config, note);
   }
   result.failure = "step budget exhausted (" + std::to_string(opts.max_steps) + " instants)";
+  copy_counters(result);
   return result;
 }
 
 RunResult run_async(const Algorithm& alg, const Grid& grid, AsyncScheduler& sched,
                     const RunOptions& opts) {
-  AsyncEngine engine(alg, alg.initial_configuration(grid));
+  AsyncEngine engine(alg, alg.initial_configuration(grid), opts.incremental);
   RunResult result;
   result.visited.assign(static_cast<std::size_t>(grid.num_nodes()), false);
   mark_visited(result.visited, grid, engine.config());
   if (opts.record_trace) result.trace.push(engine.config(), "initial");
+  const auto copy_counters = [&engine](RunResult& r) {
+    r.stats.match_reused = engine.match_counters().reused;
+    r.stats.match_recomputed = engine.match_counters().recomputed;
+  };
 
   for (long event = 0; event < opts.max_steps; ++event) {
     const std::vector<int> effective = engine.effective_robots();
     if (effective.empty()) {
       result.terminated = true;
       result.explored_all = all_visited(result.visited);
+      copy_counters(result);
       return result;
     }
     const int robot = sched.pick_robot(engine, effective);
@@ -118,6 +151,7 @@ RunResult run_async(const Algorithm& alg, const Grid& grid, AsyncScheduler& sche
     if (opts.record_trace) result.trace.push(engine.config(), note);
   }
   result.failure = "event budget exhausted (" + std::to_string(opts.max_steps) + " events)";
+  copy_counters(result);
   return result;
 }
 

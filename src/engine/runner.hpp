@@ -18,6 +18,11 @@ struct RunOptions {
   /// FSYNC determinism check: fail if any robot ever has two distinct
   /// enabled behaviors (the paper's algorithms are deterministic).
   bool require_unique_actions = false;
+  /// Drive the engines through the DirtyTracker: robots whose neighborhood
+  /// is unchanged since the last instant reuse their cached match verdict.
+  /// Results are identical either way (pinned by tests/test_incremental.cpp);
+  /// off is the recompute-everything reference path.
+  bool incremental = true;
 };
 
 struct RunStats {
@@ -25,6 +30,11 @@ struct RunStats {
   long activations = 0;    ///< robot cycles started
   long moves = 0;
   long color_changes = 0;  ///< cycles whose new color differs from the old
+  /// Incremental-engine counters (zero on the recompute path): per-robot
+  /// match verdicts served from the dirty-tracker cache vs. re-matched.
+  /// Diagnostics only — campaign accumulators and checkpoints ignore them.
+  long match_reused = 0;
+  long match_recomputed = 0;
 };
 
 struct RunResult {

@@ -36,9 +36,12 @@ void apply_sync_step(Configuration& config, std::span<const RobotAction> actions
 
 std::vector<std::vector<Action>> all_enabled_actions(const CompiledAlgorithm& alg,
                                                      const Configuration& config) {
-  std::vector<std::vector<Action>> out;
-  out.reserve(static_cast<std::size_t>(config.num_robots()));
-  for (int i = 0; i < config.num_robots(); ++i) out.push_back(enabled_actions(alg, config, i));
+  std::vector<std::vector<Action>> out(static_cast<std::size_t>(config.num_robots()));
+  Snapshot snap;  // one inline buffer shared across the whole robot loop
+  for (int i = 0; i < config.num_robots(); ++i) {
+    take_snapshot_into(config, i, alg.phi(), snap);
+    enabled_actions_into(alg, snap, out[static_cast<std::size_t>(i)]);
+  }
   return out;
 }
 

@@ -1,19 +1,19 @@
 #include "src/sched/async_schedulers.hpp"
 
+#include "src/core/rng.hpp"
+
 namespace lumi {
 
 namespace {
 Action random_action(std::mt19937& rng, const std::vector<Action>& choices) {
-  std::uniform_int_distribution<std::size_t> dist(0, choices.size() - 1);
-  return choices[dist(rng)];
+  return choices[bounded_draw(rng, static_cast<std::uint32_t>(choices.size()))];
 }
 }  // namespace
 
 AsyncRandomScheduler::AsyncRandomScheduler(unsigned seed) : rng_(seed) {}
 
 int AsyncRandomScheduler::pick_robot(const AsyncEngine&, const std::vector<int>& effective) {
-  std::uniform_int_distribution<std::size_t> dist(0, effective.size() - 1);
-  return effective[dist(rng_)];
+  return effective[bounded_draw(rng_, static_cast<std::uint32_t>(effective.size()))];
 }
 
 Action AsyncRandomScheduler::pick_action(const AsyncEngine&, int,
@@ -53,8 +53,7 @@ int AsyncStaleStressScheduler::pick_robot(const AsyncEngine& engine,
     if (engine.phase(robot) == Phase::Idle) idle.push_back(robot);
   }
   const std::vector<int>& pool = idle.empty() ? effective : idle;
-  std::uniform_int_distribution<std::size_t> dist(0, pool.size() - 1);
-  return pool[dist(rng_)];
+  return pool[bounded_draw(rng_, static_cast<std::uint32_t>(pool.size()))];
 }
 
 Action AsyncStaleStressScheduler::pick_action(const AsyncEngine&, int,

@@ -1,12 +1,13 @@
 #include "src/sched/sync_schedulers.hpp"
 
+#include "src/core/rng.hpp"
+
 namespace lumi {
 
 namespace {
 Action pick_action(std::mt19937& rng, bool randomize, const std::vector<Action>& actions) {
   if (!randomize || actions.size() == 1) return actions.front();
-  std::uniform_int_distribution<std::size_t> dist(0, actions.size() - 1);
-  return actions[dist(rng)];
+  return actions[bounded_draw(rng, static_cast<std::uint32_t>(actions.size()))];
 }
 }  // namespace
 
@@ -35,7 +36,7 @@ std::vector<RobotAction> SsyncRandomScheduler::select(
   std::vector<RobotAction> out;
   while (out.empty()) {  // resample until the subset is nonempty
     for (int robot : candidates) {
-      if (std::uniform_int_distribution<int>(0, 1)(rng_) == 1) {
+      if (bounded_draw(rng_, 2) == 1) {
         out.push_back(RobotAction{
             robot, pick_action(rng_, true, enabled[static_cast<std::size_t>(robot)])});
       }

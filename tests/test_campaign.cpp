@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -168,6 +169,70 @@ TEST(SchedKindTaxonomy, CompatibilityFollowsSynchronyOrder) {
   EXPECT_FALSE(compatible(Synchrony::Ssync, SchedKind::AsyncCentralized));
   // ...and ASYNC ones every scheduler.
   for (SchedKind kind : kAllSchedKinds) EXPECT_TRUE(compatible(Synchrony::Async, kind));
+}
+
+// --- range parsing ----------------------------------------------------------
+
+TEST(IntRangeParsing, AcceptsTheCliGrammar) {
+  const auto single = range_from_string("8");
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(single->from, 8);
+  EXPECT_EQ(single->to, 8);
+  EXPECT_EQ(single->step, 1);
+
+  const auto plain = range_from_string("4..64");
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->from, 4);
+  EXPECT_EQ(plain->to, 64);
+  EXPECT_EQ(plain->step, 1);
+
+  const auto stepped = range_from_string("4..64:12");
+  ASSERT_TRUE(stepped.has_value());
+  EXPECT_EQ(stepped->from, 4);
+  EXPECT_EQ(stepped->to, 64);
+  EXPECT_EQ(stepped->step, 12);
+
+  // An inverted range is empty, not an error (matches IntRange semantics).
+  const auto inverted = range_from_string("6..4");
+  ASSERT_TRUE(inverted.has_value());
+  EXPECT_TRUE(inverted->values().empty());
+}
+
+TEST(IntRangeParsing, RejectsZeroAndNegativeSteps) {
+  // Regression: a zero step used to slip into the sweep loop and spin (or a
+  // negative one overshoot); the parser must refuse both outright.
+  for (const char* bad : {"4..64:0", "4..64:-3", "4..64:-1"}) {
+    EXPECT_FALSE(range_from_string(bad).has_value()) << bad;
+  }
+}
+
+TEST(IntRangeParsing, RejectsMalformedText) {
+  for (const char* bad :
+       {"", "x", "0", "-4", "4..", "..8", "4..y", "4..8:", "4..8:x", "1e3", "4..8:2:3",
+        "99999999999", "4..99999999999"}) {
+    EXPECT_FALSE(range_from_string(bad).has_value()) << bad;
+  }
+}
+
+TEST(IntRangeValues, UpperEndpointIsAlwaysIncluded) {
+  // Aligned and misaligned steps both cover `to`: a sweep asked to reach 64
+  // columns must actually measure the 64-column edge.
+  EXPECT_EQ((IntRange{4, 10, 2}.values()), (std::vector<int>{4, 6, 8, 10}));
+  EXPECT_EQ((IntRange{4, 10, 3}.values()), (std::vector<int>{4, 7, 10}));
+  EXPECT_EQ((IntRange{4, 64, 12}.values()),
+            (std::vector<int>{4, 16, 28, 40, 52, 64}));
+  EXPECT_EQ((IntRange{4, 9, 4}.values()), (std::vector<int>{4, 8, 9}));
+  EXPECT_EQ((IntRange{5, 5, 7}.values()), (std::vector<int>{5}));
+  EXPECT_TRUE((IntRange{6, 4, 1}.values().empty()));
+}
+
+TEST(IntRangeValues, NonPositiveStepThrowsInsteadOfSpinning) {
+  EXPECT_THROW((IntRange{4, 8, 0}.values()), std::invalid_argument);
+  EXPECT_THROW((IntRange{4, 8, -2}.values()), std::invalid_argument);
+  // A step far larger than the span must terminate with both endpoints, not
+  // overflow the loop variable.
+  EXPECT_EQ((IntRange{1, 2, std::numeric_limits<int>::max()}.values()),
+            (std::vector<int>{1, 2}));
 }
 
 // --- expansion --------------------------------------------------------------

@@ -1,0 +1,229 @@
+// Differential tests for the incremental dirty-tracking match engine: over
+// randomized multi-instant executions of every Table-1 algorithm, the
+// tracker's cached verdicts must equal — behaviors, order and (rule, sym)
+// witnesses — both the compiled matcher re-run from scratch and the naive
+// sparse-scan reference, and the engines must produce identical runs with
+// dirty tracking on and off under FSYNC, SSYNC and ASYNC schedulers.
+#include "src/core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/algorithms/registry.hpp"
+#include "src/campaign/campaign.hpp"
+#include "src/core/rng.hpp"
+#include "src/engine/async_engine.hpp"
+#include "src/engine/runner.hpp"
+#include "src/engine/sync_engine.hpp"
+
+namespace lumi {
+namespace {
+
+bool same_action(const Action& a, const Action& b) {
+  return a.new_color == b.new_color && a.move == b.move && a.rule_index == b.rule_index &&
+         a.sym == b.sym;
+}
+
+/// Asserts tracker == compiled-from-scratch == naive for every robot.
+void expect_tracker_matches_references(const Algorithm& alg, const CompiledAlgorithm& compiled,
+                                       const Configuration& config, DirtyTracker& tracker,
+                                       const char* context) {
+  tracker.refresh();
+  const std::vector<std::vector<Action>> fresh = all_enabled_actions(compiled, config);
+  ASSERT_EQ(tracker.all_actions().size(), fresh.size()) << context;
+  for (int r = 0; r < config.num_robots(); ++r) {
+    const std::vector<Action>& cached = tracker.actions(r);
+    const std::vector<Action>& want = fresh[static_cast<std::size_t>(r)];
+    ASSERT_EQ(cached.size(), want.size()) << context << " robot " << r;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_TRUE(same_action(cached[i], want[i])) << context << " robot " << r << " action " << i;
+    }
+    const std::vector<Action> naive =
+        naive_enabled_actions(alg, take_snapshot(config, r, alg.phi));
+    ASSERT_EQ(cached.size(), naive.size()) << context << " robot " << r;
+    for (std::size_t i = 0; i < naive.size(); ++i) {
+      ASSERT_TRUE(same_action(cached[i], naive[i]))
+          << context << " (vs naive) robot " << r << " action " << i;
+    }
+    EXPECT_EQ(tracker.enabled(r), !naive.empty()) << context << " robot " << r;
+  }
+}
+
+TEST(DirtyTracker, MatchesCompiledAndNaiveOverRandomizedSyncRuns) {
+  std::mt19937 rng(20260729);
+  for (const algorithms::TableEntry& e : algorithms::table1()) {
+    const Algorithm alg = e.make();
+    const std::shared_ptr<const CompiledAlgorithm> compiled = CompiledAlgorithm::get(alg);
+    const Grid grid(alg.min_rows + 2, alg.min_cols + 2);
+    for (int run = 0; run < 8; ++run) {
+      Configuration config = alg.initial_configuration(grid);
+      DirtyTracker tracker(compiled, config);
+      for (int instant = 0; instant < 60; ++instant) {
+        const std::string context =
+            e.section + " run " + std::to_string(run) + " instant " + std::to_string(instant);
+        expect_tracker_matches_references(alg, *compiled, config, tracker, context.c_str());
+        // SSYNC-style adversary: activate a random nonempty subset of the
+        // enabled robots with a random enabled behavior each, so successive
+        // instants dirty arbitrary neighborhood combinations.
+        std::vector<RobotAction> selected;
+        for (int r = 0; r < config.num_robots(); ++r) {
+          const std::vector<Action>& actions = tracker.actions(r);
+          if (actions.empty()) continue;
+          if (bounded_draw(rng, 2) == 0 && !selected.empty()) continue;
+          const std::uint32_t pick = bounded_draw(rng, static_cast<std::uint32_t>(actions.size()));
+          selected.push_back(RobotAction{r, actions[pick]});
+        }
+        if (selected.empty()) break;  // terminal configuration
+        apply_sync_step(config, selected);
+      }
+    }
+  }
+}
+
+TEST(DirtyTracker, ReusesVerdictsWhenNothingChanged) {
+  const Algorithm alg = algorithms::entry("4.3.1").make();
+  Configuration config = alg.initial_configuration(Grid(4, 5));
+  DirtyTracker tracker(CompiledAlgorithm::get(alg), config);
+  const long base = tracker.counters().recomputed;
+  EXPECT_EQ(base, config.num_robots());  // initial full compute
+  tracker.refresh();
+  tracker.refresh();
+  EXPECT_EQ(tracker.counters().recomputed, base);  // clean refreshes recompute nothing
+  EXPECT_EQ(tracker.counters().reused, 2L * config.num_robots());
+}
+
+TEST(DirtyTracker, RecomputesOnlyNeighborhoodsCoveringTheChange) {
+  // Two robots far apart on a long grid: recoloring one must not re-match
+  // the other.
+  const Algorithm alg = algorithms::entry("4.3.1").make();
+  ASSERT_EQ(alg.phi, 2);
+  Configuration config = make_configuration(
+      Grid(4, 12), {{{0, 0}, {Color::G}}, {{0, 11}, {Color::W}}});
+  DirtyTracker tracker(CompiledAlgorithm::get(alg), config);
+  const long base = tracker.counters().recomputed;
+  config.set_color(0, Color::B);
+  tracker.refresh();
+  EXPECT_EQ(tracker.counters().recomputed, base + 1);  // only robot 0 re-matched
+}
+
+TEST(DirtyTracker, JournalIsOptInAndDrained) {
+  const Algorithm alg = algorithms::entry("4.3.1").make();
+  Configuration config = alg.initial_configuration(Grid(4, 5));
+  EXPECT_FALSE(config.journal_enabled());
+  config.set_color(0, Color::B);
+  EXPECT_TRUE(config.journal().empty());  // disabled: nothing recorded
+  {
+    DirtyTracker tracker(CompiledAlgorithm::get(alg), config);
+    EXPECT_TRUE(config.journal_enabled());
+    const Vec before = config.robot(0).pos;
+    Vec to = before;
+    for (Dir d : kAllDirs) {
+      if (config.grid().contains(before + dir_vec(d))) {
+        to = before + dir_vec(d);
+        break;
+      }
+    }
+    ASSERT_FALSE(to == before);
+    config.move_robot(0, to);
+    EXPECT_EQ(config.journal().size(), 2u);  // from + to
+    tracker.refresh();
+    EXPECT_TRUE(config.journal().empty());  // refresh drains the journal
+  }
+  EXPECT_FALSE(config.journal_enabled());  // detach restores the default
+}
+
+TEST(IncrementalEngines, AsyncEngineIdenticalWithTrackingOnAndOff) {
+  std::mt19937 rng(7);
+  for (const algorithms::TableEntry& e : algorithms::table1()) {
+    const Algorithm alg = e.make();
+    const Grid grid(alg.min_rows + 1, alg.min_cols + 1);
+    AsyncEngine inc(alg, alg.initial_configuration(grid), /*incremental=*/true);
+    AsyncEngine ref(alg, alg.initial_configuration(grid), /*incremental=*/false);
+    for (int event = 0; event < 240; ++event) {
+      const std::vector<int> effective = inc.effective_robots();
+      ASSERT_EQ(effective, ref.effective_robots()) << e.section << " event " << event;
+      ASSERT_EQ(inc.terminal(), ref.terminal()) << e.section << " event " << event;
+      if (effective.empty()) break;
+      const int robot =
+          effective[bounded_draw(rng, static_cast<std::uint32_t>(effective.size()))];
+      if (inc.phase(robot) == Phase::Idle) {
+        const std::vector<Action> choices = inc.look_choices(robot);
+        const std::vector<Action> ref_choices = ref.look_choices(robot);
+        ASSERT_EQ(choices.size(), ref_choices.size()) << e.section << " event " << event;
+        for (std::size_t i = 0; i < choices.size(); ++i) {
+          ASSERT_TRUE(same_action(choices[i], ref_choices[i]))
+              << e.section << " event " << event << " choice " << i;
+        }
+        if (choices.empty()) continue;
+        const std::uint32_t pick = bounded_draw(rng, static_cast<std::uint32_t>(choices.size()));
+        inc.activate(robot, choices[pick]);
+        ref.activate(robot, ref_choices[pick]);
+      } else {
+        inc.activate(robot);
+        ref.activate(robot);
+      }
+      ASSERT_TRUE(inc.config().same_placement(ref.config()))
+          << e.section << " diverged at event " << event;
+    }
+  }
+}
+
+TEST(IncrementalEngines, RunnersIdenticalWithTrackingOnAndOff) {
+  // End-to-end: every scheduler family over representative sections; the
+  // semantic result fields must be bit-identical (the reuse counters are the
+  // only permitted difference).
+  using campaign::Cell;
+  using campaign::SchedKind;
+  for (const std::string& section : {std::string("4.2.1"), std::string("4.3.1"),
+                                     std::string("4.3.5")}) {
+    const Algorithm alg = algorithms::entry(section).make();
+    for (campaign::SchedKind kind : campaign::kAllSchedKinds) {
+      if (!campaign::compatible(alg.model, kind)) continue;
+      for (unsigned seed : {1u, 2u, 3u}) {
+        const Cell cell{section, alg.min_rows + 1, alg.min_cols + 2, kind};
+        RunOptions on;
+        RunOptions off;
+        off.incremental = false;
+        const RunResult a = campaign::run_cell(cell, seed, on);
+        const RunResult b = campaign::run_cell(cell, seed, off);
+        const std::string context =
+            section + " " + campaign::to_string(kind) + " seed " + std::to_string(seed);
+        EXPECT_EQ(a.terminated, b.terminated) << context;
+        EXPECT_EQ(a.explored_all, b.explored_all) << context;
+        EXPECT_EQ(a.failure, b.failure) << context;
+        EXPECT_EQ(a.visited, b.visited) << context;
+        EXPECT_EQ(a.stats.instants, b.stats.instants) << context;
+        EXPECT_EQ(a.stats.activations, b.stats.activations) << context;
+        EXPECT_EQ(a.stats.moves, b.stats.moves) << context;
+        EXPECT_EQ(a.stats.color_changes, b.stats.color_changes) << context;
+        EXPECT_GT(a.stats.match_reused + a.stats.match_recomputed, 0) << context;
+        EXPECT_EQ(b.stats.match_reused, 0) << context;
+        EXPECT_EQ(b.stats.match_recomputed, 0) << context;
+      }
+    }
+  }
+}
+
+TEST(IncrementalEngines, CampaignSummariesIdenticalWithTrackingOnAndOff) {
+  campaign::Matrix m;
+  m.sections = {"4.2.1", "4.3.1", "4.3.5"};
+  m.rows = {4, 6, 2};
+  m.cols = {4, 6, 2};
+  m.schedulers.assign(std::begin(campaign::kAllSchedKinds), std::end(campaign::kAllSchedKinds));
+  m.seeds = {7, 8};
+  campaign::Expansion on = campaign::expand(m);
+  campaign::Expansion off = on;
+  off.options.incremental = false;
+  const campaign::CampaignSummary a = campaign::run_campaign(on, 2);
+  const campaign::CampaignSummary b = campaign::run_campaign(off, 2);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_TRUE(a.cells[i].cell == b.cells[i].cell);
+    EXPECT_EQ(a.cells[i].acc, b.cells[i].acc) << to_string(a.cells[i].cell);
+  }
+  EXPECT_EQ(a.total, b.total);
+}
+
+}  // namespace
+}  // namespace lumi

@@ -213,6 +213,50 @@ TEST(Resume, KilledCampaignResumesWithoutRerunningCompletedJobs) {
   std::remove(path.c_str());
 }
 
+TEST(Resume, KilledAdaptiveCampaignResumesIdenticallyWithTrackingOnAndOff) {
+  // The incremental engine must be invisible to checkpoint/resume: a
+  // killed-and-resumed adaptive campaign lands on reports byte-identical to
+  // the fresh uninterrupted run, for every combination of dirty tracking
+  // during the first (killed) leg and during the resume — including mixed
+  // legs, since the checkpoint format carries no trace of the engine mode.
+  Matrix m = small_matrix();
+  m.options.max_steps = 40;  // some runs exhaust the budget: escalation fires
+  const Expansion fresh_expansion = expand(m);
+  OrchestratorOptions adaptive;
+  adaptive.adaptive.enabled = true;
+  adaptive.adaptive.seeds_per_round = 1;
+  adaptive.adaptive.max_extra_seeds = 2;
+  const OrchestratorReport fresh = run_orchestrated(fresh_expansion, adaptive);
+  const std::string want_csv = campaign_csv(fresh.summary);
+  const std::string want_json = campaign_json(fresh.summary);
+
+  for (const bool first_incremental : {true, false}) {
+    for (const bool resume_incremental : {true, false}) {
+      const std::string path = temp_path("resume-incremental.ckpt");
+      std::remove(path.c_str());
+      Expansion killed_leg = fresh_expansion;
+      killed_leg.options.incremental = first_incremental;
+      OrchestratorOptions first = adaptive;
+      first.checkpoint_path = path;
+      first.max_jobs = 7;
+      const OrchestratorReport killed = run_orchestrated(killed_leg, first);
+      EXPECT_FALSE(killed.complete);
+
+      Expansion resume_leg = fresh_expansion;
+      resume_leg.options.incremental = resume_incremental;
+      OrchestratorOptions second = adaptive;
+      second.checkpoint_path = path;
+      const OrchestratorReport resumed = run_orchestrated(resume_leg, second);
+      EXPECT_TRUE(resumed.complete);
+      const std::string context = std::string("first=") + (first_incremental ? "inc" : "rec") +
+                                  " resume=" + (resume_incremental ? "inc" : "rec");
+      EXPECT_EQ(campaign_csv(resumed.summary), want_csv) << context;
+      EXPECT_EQ(campaign_json(resumed.summary), want_json) << context;
+      std::remove(path.c_str());
+    }
+  }
+}
+
 TEST(Resume, UnwritableCheckpointPathFailsLoudly) {
   // Flush failures must not end with "progress persisted" signaling: a path
   // that can never be written (missing directory) has to surface as an

@@ -83,6 +83,39 @@ TEST(Report, ZeroRunCellRendersFiniteZeros) {
   }
 }
 
+TEST(Report, SingleRunCellRendersExactValuesWithoutNaN) {
+  // Deterministic-scheduler cells aggregate exactly one run (n = 1): the
+  // variance path degenerates and the percentile rank is 1.  The rendered
+  // report must carry the sample itself — no NaN, no bucket-top artifacts
+  // beyond the documented clamp.
+  CampaignSummary summary;
+  CellSummary cell;
+  cell.cell = Cell{"4.2.1", 4, 5, SchedKind::SsyncRoundRobin};
+  RunResult run;
+  run.terminated = true;
+  run.explored_all = true;
+  run.stats.instants = 1'000'000;  // large enough to stress the exact-sums math
+  run.stats.moves = 37;
+  run.visited.assign(20, true);
+  cell.acc.add(run);
+  summary.cells.push_back(cell);
+  summary.total = cell.acc;
+  summary.jobs = 1;
+
+  EXPECT_DOUBLE_EQ(cell.acc.instants.variance(), 0.0);
+  const std::string csv = campaign_csv(summary);
+  const std::string json = campaign_json(summary);
+  // p50/p90/p99 of a single sample are the sample, in both writers.
+  EXPECT_NE(csv.find(",1000000,1000000,1000000,37,37,37\n"), std::string::npos) << csv;
+  EXPECT_NE(json.find("\"p50\": 1000000, \"p90\": 1000000, \"p99\": 1000000"),
+            std::string::npos)
+      << json;
+  for (const std::string& bad : {std::string("nan"), std::string("inf")}) {
+    EXPECT_EQ(csv.find(bad), std::string::npos);
+    EXPECT_EQ(json.find(bad), std::string::npos);
+  }
+}
+
 TEST(Report, RenderedReportsAreByteIdenticalAcrossThreadCounts) {
   campaign::Matrix matrix;
   matrix.sections = {"4.2.1", "4.3.1", "4.3.5"};

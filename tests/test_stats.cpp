@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "src/algorithms/algorithms.hpp"
+#include "src/campaign/aggregate.hpp"
 #include "src/engine/runner.hpp"
 
 namespace lumi {
@@ -33,6 +37,64 @@ TEST(Stats, LinearSlopeErrors) {
   EXPECT_THROW(linear_slope({1}, {1}), std::invalid_argument);
   EXPECT_THROW(linear_slope({1, 2}, {1}), std::invalid_argument);
   EXPECT_THROW(linear_slope({2, 2}, {1, 3}), std::invalid_argument);
+}
+
+// --- LongStat edge cases -----------------------------------------------------
+//
+// Deterministic-scheduler campaign cells aggregate exactly one run (n = 1),
+// and empty cells exist transiently in fresh checkpoints; neither may ever
+// render as NaN or trip UB in the report writers or the adaptive policy.
+
+TEST(LongStatEdgeCases, EmptyStreamIsAllZeroes) {
+  const campaign::LongStat s;
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) EXPECT_EQ(s.percentile(q), 0);
+}
+
+TEST(LongStatEdgeCases, SingleSampleHasZeroVarianceAndExactPercentiles) {
+  for (long sample : {0L, 1L, 7L, 1'000'000'000L, 3'037'000'499L}) {
+    campaign::LongStat s;
+    s.add(sample);
+    // The sum-of-squares formula loses bits for samples past 2^26; a single
+    // sample must report exactly zero spread regardless.
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0) << sample;
+    for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+      EXPECT_EQ(s.percentile(q), sample) << sample << " q=" << q;
+    }
+  }
+}
+
+TEST(LongStatEdgeCases, VarianceIsNeverNegative) {
+  // Large near-equal samples make the exact-sums formula cancel
+  // catastrophically; the clamp must keep the result at >= 0 (a negative
+  // variance breaks every sqrt/threshold consumer).  Samples stay small
+  // enough that sum_squares itself cannot overflow.
+  campaign::LongStat s;
+  s.add(1'700'000'021L);
+  s.add(1'700'000'022L);
+  s.add(1'700'000'023L);
+  EXPECT_GE(s.variance(), 0.0);
+  campaign::LongStat pair;
+  pair.add(1'000'000'000L);
+  pair.add(1'000'000'001L);
+  EXPECT_GE(pair.variance(), 0.0);
+}
+
+TEST(LongStatEdgeCases, PercentileToleratesHostileQuantiles) {
+  // 7 tops its log2 bucket [4, 8) exactly; 9's bucket top (15) clamps to the
+  // observed max, so the expected answers are the samples themselves.
+  campaign::LongStat s;
+  s.add(7);
+  s.add(9);
+  // Out-of-range and non-finite q degrade to the nearest bound; casting a
+  // NaN-derived rank used to be UB.
+  EXPECT_EQ(s.percentile(-2.0), 7);
+  EXPECT_EQ(s.percentile(2.0), 9);
+  EXPECT_EQ(s.percentile(std::numeric_limits<double>::quiet_NaN()), 7);
+  EXPECT_EQ(s.percentile(std::numeric_limits<double>::infinity()), 9);
+  EXPECT_EQ(s.percentile(-std::numeric_limits<double>::infinity()), 7);
 }
 
 TEST(Stats, MoveCountsScaleLinearlyWithArea) {
