@@ -1,9 +1,11 @@
 // Measures campaign throughput (jobs/sec) single-threaded vs. all cores on a
 // fixed matrix, plus the orchestration overheads (checkpoint serialization +
-// atomic write, 7-way shard merge), and reports the speedup.  Exits nonzero
-// if the parallel run produces a different merged summary than the
-// single-threaded one (the determinism contract), or if the shard merge is
-// not byte-identical to the direct run.
+// atomic write, 7-way shard merge), a topology-family sweep (grid, torus,
+// holes, obstacles) and the plain-grid Topology-abstraction overhead against
+// a seed-grid replica.  Exits nonzero if the parallel run produces a
+// different merged summary than the single-threaded one (the determinism
+// contract), if the shard merge is not byte-identical to the direct run, or
+// if the plain-grid snapshot path costs more than 5% over the seed replica.
 //
 // Usage: bench_campaign [--large] [--json PATH]
 // --json writes the measured rates as machine-readable JSON (the campaign
@@ -14,10 +16,13 @@
 #include <thread>
 #include <vector>
 
+#include "src/algorithms/registry.hpp"
 #include "src/campaign/campaign.hpp"
 #include "src/campaign/checkpoint.hpp"
 #include "src/campaign/orchestrate.hpp"
 #include "src/campaign/shard.hpp"
+#include "src/core/view.hpp"
+#include "src/topo/topology.hpp"
 #include "src/trace/report.hpp"
 
 namespace {
@@ -30,6 +35,98 @@ bool same_summary(const lumi::campaign::CampaignSummary& a,
     if (!(a.cells[i].acc == b.cells[i].acc)) return false;
   }
   return true;
+}
+
+/// Seed-replica world: the pre-topology Grid + Configuration data layout —
+/// dimensions, a row-major occupancy array and a robot list.
+struct SeedWorld {
+  int rows = 0;
+  int cols = 0;
+  std::vector<lumi::ColorMultiset> occupancy;
+  std::vector<lumi::Robot> robots;
+};
+
+/// The seed take_snapshot_into, replicated line for line: bounds check +
+/// row-major occupancy lookup per kernel cell.  noinline so it sits behind a
+/// call boundary exactly like the real take_snapshot_into (which lives in
+/// another translation unit) — otherwise the comparison measures compiler
+/// visibility, not abstraction cost.
+[[gnu::noinline]] void seed_take_snapshot_into(const SeedWorld& w, int robot,
+                                               lumi::Snapshot& out) {
+  using namespace lumi;
+  const ViewKernel& kernel = ViewKernel::get(2);
+  const Robot& r = w.robots[static_cast<std::size_t>(robot)];
+  out.origin = r.pos;
+  out.self_color = r.color;
+  out.phi = 2;
+  const std::span<const Vec> offsets = kernel.offsets();
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    const Vec v = r.pos + offsets[i];
+    if (v.row >= 0 && v.row < w.rows && v.col >= 0 && v.col < w.cols) {
+      out.cells[i] = CellContent{
+          .wall = false,
+          .robots = w.occupancy[static_cast<std::size_t>(v.row * w.cols + v.col)]};
+    } else {
+      out.cells[i] = CellContent{.wall = true, .robots = {}};
+    }
+  }
+}
+
+/// ns per snapshot through the Topology-backed path vs. the seed replica
+/// above.  Both fill the same inline Snapshot over the same phi-2 kernel, so
+/// the ratio isolates what the topology abstraction costs the plain-grid
+/// hot path.  Min over several passes.
+struct SnapshotOverhead {
+  double topology_ns = 0.0;
+  double reference_ns = 0.0;
+  double ratio() const { return reference_ns > 0 ? topology_ns / reference_ns : 0.0; }
+};
+
+SnapshotOverhead measure_snapshot_overhead() {
+  using namespace lumi;
+  const Algorithm alg = algorithms::entry("4.2.1").make();  // phi = 2: the deep kernel
+  const Grid grid(8, 8);
+  const Configuration config = alg.initial_configuration(grid);
+
+  SeedWorld world;
+  world.rows = grid.rows();
+  world.cols = grid.cols();
+  world.occupancy.resize(static_cast<std::size_t>(grid.num_nodes()));
+  world.robots = config.robots();
+  for (const Robot& r : world.robots) {
+    world.occupancy[static_cast<std::size_t>(r.pos.row * world.cols + r.pos.col)].add(r.color);
+  }
+
+  constexpr long kReps = 400'000;
+  constexpr int kPasses = 5;
+  const auto ns_per_rep = [](std::chrono::steady_clock::time_point start, long reps) {
+    return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - start)
+               .count() /
+           static_cast<double>(reps);
+  };
+
+  SnapshotOverhead out;
+  Snapshot snap;
+  long sink = 0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (long i = 0; i < kReps; ++i) {
+      take_snapshot_into(config, static_cast<int>(i & 1), 2, snap);
+      sink += snap.cells[0].wall ? 1 : 0;
+    }
+    const double topo_ns = ns_per_rep(t0, kReps);
+    if (pass == 0 || topo_ns < out.topology_ns) out.topology_ns = topo_ns;
+
+    const auto t1 = std::chrono::steady_clock::now();
+    for (long i = 0; i < kReps; ++i) {
+      seed_take_snapshot_into(world, static_cast<int>(i & 1), snap);
+      sink += snap.cells[0].wall ? 1 : 0;
+    }
+    const double ref_ns = ns_per_rep(t1, kReps);
+    if (pass == 0 || ref_ns < out.reference_ns) out.reference_ns = ref_ns;
+  }
+  if (sink < 0) std::printf("impossible\n");
+  return out;
 }
 
 }  // namespace
@@ -155,8 +252,44 @@ int main(int argc, char** argv) {
   }
   std::printf("merged shard reports byte-identical to direct run: yes\n");
 
+  // --- topology-family sweep ------------------------------------------------
+  // One campaign per family over the same sections and dimensions.  Tori have
+  // no border, so the paper algorithms never see a wall and run to the step
+  // budget; the budget is kept small so the sweep measures throughput, not
+  // patience.  Jobs/s across families tracks what walls, wraparound and the
+  // connectivity-validated obstacle masks cost end to end.
+  struct TopoRate {
+    const char* name;
+    const char* spec;
+    double jobs_per_sec = 0.0;
+    std::size_t jobs = 0;
+  };
+  TopoRate topo_rates[] = {{"grid", "grid"},
+                           {"torus", "torus"},
+                           {"holes", "holes"},
+                           {"obstacles", "obstacles:15:1"}};
+  for (TopoRate& t : topo_rates) {
+    Matrix topo_matrix;
+    topo_matrix.sections = {"4.2.1", "4.3.1"};
+    topo_matrix.rows = {6, 8, 2};
+    topo_matrix.cols = {6, 8, 2};
+    topo_matrix.topologies = {t.spec};
+    topo_matrix.schedulers.assign(std::begin(kAllSchedKinds), std::end(kAllSchedKinds));
+    topo_matrix.seeds = {1, 2};
+    topo_matrix.options.max_steps = 2'000;
+    const CampaignSummary s = run_campaign(topo_matrix, 0);
+    t.jobs = s.jobs;
+    t.jobs_per_sec = s.wall_seconds > 0 ? static_cast<double>(s.jobs) / s.wall_seconds : 0.0;
+    std::printf("  topology %-10s %8.1f jobs/s (%zu jobs)\n", t.name, t.jobs_per_sec, t.jobs);
+  }
+
+  // --- plain-grid abstraction overhead --------------------------------------
+  const SnapshotOverhead overhead = measure_snapshot_overhead();
+  std::printf("  snapshot: topology %.1f ns vs seed replica %.1f ns (%.3fx)\n",
+              overhead.topology_ns, overhead.reference_ns, overhead.ratio());
+
   if (!json_path.empty()) {
-    char json[768];
+    char json[1536];
     std::snprintf(json, sizeof(json),
                   "{\n"
                   "  \"jobs\": %zu,\n"
@@ -169,16 +302,35 @@ int main(int argc, char** argv) {
                   "  \"checkpoint_cells\": %zu,\n"
                   "  \"checkpoint_write_ms\": %.3f,\n"
                   "  \"shard_merge_ways\": %u,\n"
-                  "  \"shard_merge_ms\": %.3f\n"
+                  "  \"shard_merge_ms\": %.3f,\n"
+                  "  \"topo_grid_jobs_per_sec\": %.1f,\n"
+                  "  \"topo_torus_jobs_per_sec\": %.1f,\n"
+                  "  \"topo_holes_jobs_per_sec\": %.1f,\n"
+                  "  \"topo_obstacles_jobs_per_sec\": %.1f,\n"
+                  "  \"grid_topology_snapshot_ns\": %.1f,\n"
+                  "  \"grid_reference_snapshot_ns\": %.1f,\n"
+                  "  \"grid_topology_overhead\": %.3f\n"
                   "}\n",
                   parallel.jobs, parallel.threads, recompute_rate, single_rate,
                   incremental_speedup, parallel_rate, parallel_rate / single_rate,
-                  base.checkpoint.cells.size(), checkpoint_write_ms, kShards, shard_merge_ms);
+                  base.checkpoint.cells.size(), checkpoint_write_ms, kShards, shard_merge_ms,
+                  topo_rates[0].jobs_per_sec, topo_rates[1].jobs_per_sec,
+                  topo_rates[2].jobs_per_sec, topo_rates[3].jobs_per_sec,
+                  overhead.topology_ns, overhead.reference_ns, overhead.ratio());
     if (!lumi::write_text_file(json_path, json)) {
       std::printf("FAIL: cannot write %s\n", json_path.c_str());
       return 1;
     }
     std::printf("wrote %s\n", json_path.c_str());
   }
+
+  // Gate last, after the JSON artifact exists for diagnosis.
+  if (overhead.ratio() > 1.05) {
+    std::printf("FAIL: plain-grid Topology snapshot path exceeds the 5%% overhead budget "
+                "(%.3fx over the seed replica)\n",
+                overhead.ratio());
+    return 1;
+  }
+  std::printf("plain-grid Topology overhead within the 5%% budget: yes\n");
   return 0;
 }

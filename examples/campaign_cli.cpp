@@ -5,6 +5,8 @@
 //   $ ./campaign_cli                              # 11 paper algorithms, small grids
 //   $ ./campaign_cli --rows=4..64:12 --cols=4..64:12 --seeds=3 --csv=sweep.csv
 //   $ ./campaign_cli --sections=4.3.1,4.3.5 --scheds=async-random,async-stress
+//   $ ./campaign_cli --topologies=grid,holes,obstacles:15:1   # topology families sweep
+//   $ ./campaign_cli --topologies=torus --max-steps=2000      # borderless worlds
 //   $ ./campaign_cli --shard=0/3 --checkpoint=s0.ckpt   # then merge: campaign_merge
 //   $ ./campaign_cli --checkpoint=run.ckpt              # re-run resumes where it died
 //   $ ./campaign_cli --checkpoint=run.ckpt --adaptive   # extra seeds for shaky cells
@@ -18,6 +20,7 @@
 #include "src/campaign/campaign.hpp"
 #include "src/campaign/orchestrate.hpp"
 #include "src/campaign/shard.hpp"
+#include "src/topo/topology.hpp"
 #include "src/trace/report.hpp"
 
 namespace {
@@ -27,6 +30,7 @@ using namespace lumi;
 struct Args {
   std::string sections = "paper";
   std::string scheds = "all";
+  std::string topologies = "grid";
   campaign::IntRange rows{4, 10, 2};
   campaign::IntRange cols{4, 10, 2};
   int seeds = 2;
@@ -84,6 +88,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.sections = v;
     } else if (const char* v = value("--scheds=")) {
       args.scheds = v;
+    } else if (const char* v = value("--topologies=")) {
+      args.topologies = v;
     } else if (const char* v = value("--rows=")) {
       if (!parse_range(v, args.rows)) return false;
     } else if (const char* v = value("--cols=")) {
@@ -157,6 +163,17 @@ bool build_matrix(const Args& args, campaign::Matrix& matrix) {
       matrix.schedulers.push_back(*kind);
     }
   }
+  matrix.topologies = split_csv(args.topologies);
+  for (const std::string& spec : matrix.topologies) {
+    // Syntax-only check: a typo aborts loudly instead of silently expanding
+    // to nothing via skip_incompatible, while a well-formed spec that only
+    // fits some of the swept dimensions is judged per cell at expansion.
+    if (!lumi::topology_spec_parses(spec)) {
+      std::fprintf(stderr, "bad topology '%s': expected %s\n", spec.c_str(),
+                   lumi::topology_spec_grammar());
+      return false;
+    }
+  }
   matrix.rows = args.rows;
   matrix.cols = args.cols;
   matrix.seeds.clear();
@@ -172,6 +189,7 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, args)) {
     std::fprintf(stderr,
                  "usage: %s [--sections=paper|all|4.2.1,...] [--rows=4..10:2] [--cols=4..10:2]\n"
+                 "          [--topologies=grid,ring,torus,holes[:HxW[@RxC]],obstacles:P:S]\n"
                  "          [--scheds=all|fsync,ssync-random,ssync-rr,async-random,"
                  "async-central,async-stress]\n"
                  "          [--seeds=N] [--threads=N] [--max-steps=N]\n"
@@ -233,13 +251,14 @@ int main(int argc, char** argv) {
   }
 
   if (!args.quiet) {
-    std::printf("%-8s %-8s %-14s %6s %6s %6s %10s %10s\n", "section", "grid", "sched", "runs",
-                "term", "expl", "instants", "moves");
+    std::printf("%-8s %-8s %-16s %-14s %6s %6s %6s %10s %10s\n", "section", "grid", "topo",
+                "sched", "runs", "term", "expl", "instants", "moves");
     for (const campaign::CellSummary& cell : summary.cells) {
-      std::printf("%-8s %3dx%-4d %-14s %6ld %6ld %6ld %10.1f %10.1f\n",
+      std::printf("%-8s %3dx%-4d %-16s %-14s %6ld %6ld %6ld %10.1f %10.1f\n",
                   cell.cell.section.c_str(), cell.cell.rows, cell.cell.cols,
-                  to_string(cell.cell.sched).c_str(), cell.acc.runs, cell.acc.terminated,
-                  cell.acc.explored_all, cell.acc.instants.mean(), cell.acc.moves.mean());
+                  cell.cell.topo.c_str(), to_string(cell.cell.sched).c_str(), cell.acc.runs,
+                  cell.acc.terminated, cell.acc.explored_all, cell.acc.instants.mean(),
+                  cell.acc.moves.mean());
     }
   }
 

@@ -1,15 +1,21 @@
 // Command-line driver over the whole catalog: run any Table-1 algorithm on
-// any grid under any scheduler, optionally printing the full trace.
+// any topology (plain grid, torus, ring, holed or obstacle grid) under any
+// scheduler, optionally printing the full trace.
 //
 //   $ ./explore_cli --section=4.3.5 --rows=4 --cols=6 --sched=async-random --seed=7 --trace
+//   $ ./explore_cli --section=4.2.1 --rows=6 --cols=6 --topology=holes --trace
+//   $ ./explore_cli --section=4.3.1 --rows=8 --cols=8 --topology=obstacles:15:3
+//   $ ./explore_cli --section=4.3.5 --rows=4 --cols=8 --topology=torus --max-steps=2000
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/algorithms/registry.hpp"
 #include "src/engine/runner.hpp"
+#include "src/topo/topology.hpp"
 #include "src/trace/ascii_render.hpp"
 
 namespace {
@@ -18,8 +24,10 @@ struct Args {
   std::string section = "4.2.1";
   int rows = 4;
   int cols = 6;
+  std::string topology = "grid";
   std::string sched = "auto";
   unsigned seed = 1;
+  long max_steps = 1'000'000;
   bool trace = false;
 };
 
@@ -36,10 +44,15 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.rows = std::atoi(v);
     } else if (const char* v = value("--cols=")) {
       args.cols = std::atoi(v);
+    } else if (const char* v = value("--topology=")) {
+      args.topology = v;
     } else if (const char* v = value("--sched=")) {
       args.sched = v;
     } else if (const char* v = value("--seed=")) {
       args.seed = static_cast<unsigned>(std::atoi(v));
+    } else if (const char* v = value("--max-steps=")) {
+      args.max_steps = std::atol(v);
+      if (args.max_steps < 1) return false;
     } else if (arg == "--trace") {
       args.trace = true;
     } else {
@@ -57,42 +70,58 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, args)) {
     std::fprintf(stderr,
                  "usage: %s [--section=4.2.1] [--rows=R] [--cols=C]\n"
+                 "          [--topology=%s]\n"
                  "          [--sched=auto|fsync|ssync-random|ssync-rr|async-random|"
                  "async-central|async-stress]\n"
-                 "          [--seed=N] [--trace]\n",
-                 argv[0]);
+                 "          [--seed=N] [--max-steps=N] [--trace]\n",
+                 argv[0], lumi::topology_spec_grammar());
     return 2;
   }
 
   const Algorithm alg = algorithms::entry(args.section).make();
-  const Grid grid(args.rows, args.cols);
+  std::optional<Grid> built;
+  try {
+    built.emplace(make_topology(args.topology, args.rows, args.cols));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const Grid& grid = *built;
   RunOptions opts;
   opts.record_trace = args.trace;
+  opts.max_steps = args.max_steps;
 
   std::string sched = args.sched;
   if (sched == "auto") sched = alg.model == Synchrony::Fsync ? "fsync" : "async-random";
 
   RunResult result;
-  if (sched == "fsync") {
-    FsyncScheduler s;
-    result = run_sync(alg, grid, s, opts);
-  } else if (sched == "ssync-random") {
-    SsyncRandomScheduler s(args.seed);
-    result = run_sync(alg, grid, s, opts);
-  } else if (sched == "ssync-rr") {
-    SsyncRoundRobinScheduler s;
-    result = run_sync(alg, grid, s, opts);
-  } else if (sched == "async-random") {
-    AsyncRandomScheduler s(args.seed);
-    result = run_async(alg, grid, s, opts);
-  } else if (sched == "async-central") {
-    AsyncCentralizedScheduler s;
-    result = run_async(alg, grid, s, opts);
-  } else if (sched == "async-stress") {
-    AsyncStaleStressScheduler s(args.seed);
-    result = run_async(alg, grid, s, opts);
-  } else {
-    std::fprintf(stderr, "unknown scheduler '%s'\n", sched.c_str());
+  try {
+    if (sched == "fsync") {
+      FsyncScheduler s;
+      result = run_sync(alg, grid, s, opts);
+    } else if (sched == "ssync-random") {
+      SsyncRandomScheduler s(args.seed);
+      result = run_sync(alg, grid, s, opts);
+    } else if (sched == "ssync-rr") {
+      SsyncRoundRobinScheduler s;
+      result = run_sync(alg, grid, s, opts);
+    } else if (sched == "async-random") {
+      AsyncRandomScheduler s(args.seed);
+      result = run_async(alg, grid, s, opts);
+    } else if (sched == "async-central") {
+      AsyncCentralizedScheduler s;
+      result = run_async(alg, grid, s, opts);
+    } else if (sched == "async-stress") {
+      AsyncStaleStressScheduler s(args.seed);
+      result = run_async(alg, grid, s, opts);
+    } else {
+      std::fprintf(stderr, "unknown scheduler '%s'\n", sched.c_str());
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    // e.g. a bounding box below the algorithm's minimum, or a topology
+    // whose walls displace the initial placement.
+    std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
 
@@ -100,7 +129,7 @@ int main(int argc, char** argv) {
   std::printf("%s on %s under %s: terminated=%s explored=%d/%d instants=%ld moves=%ld "
               "color_changes=%ld%s%s\n",
               alg.name.c_str(), grid.to_string().c_str(), sched.c_str(),
-              result.terminated ? "yes" : "no", result.visited_count(), grid.num_nodes(),
+              result.terminated ? "yes" : "no", result.visited_count(), grid.reachable_nodes(),
               result.stats.instants, result.stats.moves, result.stats.color_changes,
               result.failure.empty() ? "" : " failure=", result.failure.c_str());
   return result.ok() ? 0 : 1;

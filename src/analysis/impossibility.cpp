@@ -147,9 +147,12 @@ class Game {
           Robot& r = next.robots[static_cast<std::size_t>(robot)];
           r.color = a.new_color;
           if (a.move.has_value()) {
-            const Vec to = r.pos + dir_vec(*a.move);
-            if (!grid_.contains(to)) legal = false;
-            r.pos = to;
+            const std::optional<Vec> to = grid_.step(r.pos, *a.move);
+            if (!to) {
+              legal = false;
+            } else {
+              r.pos = *to;
+            }
           }
           activated |= 1u << robot;
         }
@@ -274,6 +277,7 @@ AdversaryResult find_ssync_adversary(const Algorithm& alg, const Grid& grid,
                                      const AdversaryOptions& opts) {
   AdversaryResult overall;
   for (int idx = 0; idx < grid.num_nodes(); ++idx) {
+    if (!grid.is_node_index(idx)) continue;  // walls are not defensible nodes
     AdversaryResult r = check_protected_node(alg, grid, grid.node(idx), opts);
     overall.states += r.states;
     if (r.adversary_wins) {

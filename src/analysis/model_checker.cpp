@@ -135,7 +135,7 @@ class Checker {
         if (f.state.visited != full_mask()) {
           fail("terminal configuration with incomplete coverage (" +
                    std::to_string(__builtin_popcountll(f.state.visited)) + "/" +
-                   std::to_string(grid_.num_nodes()) + " nodes)",
+                   std::to_string(grid_.reachable_nodes()) + " nodes)",
                stack, &f.state);
         }
       }
@@ -173,9 +173,17 @@ class Checker {
     }
   }
 
+  /// Coverage target: one bit per *reachable* node of the bounding box
+  /// (wall cells are never visited and never required; on a plain grid this
+  /// is the full box).  Computed once — terminal states compare against it
+  /// on every DFS leaf.
   std::uint64_t full_mask() const {
-    const int n = grid_.num_nodes();
-    return n == 64 ? ~0ULL : ((1ULL << n) - 1);
+    if (full_mask_ == 0) {
+      for (int i = 0; i < grid_.num_nodes(); ++i) {
+        if (grid_.is_node_index(i)) full_mask_ |= 1ULL << i;
+      }
+    }
+    return full_mask_;
   }
 
   std::vector<McState> successors(const McState& s) {
@@ -224,9 +232,9 @@ class Checker {
         r.color = a.new_color;
         r.pending_color = a.new_color;
         if (a.move.has_value()) {
-          const Vec to = r.pos + dir_vec(*a.move);
-          if (!grid_.contains(to)) throw std::logic_error("robot would leave the grid");
-          r.pos = to;
+          const std::optional<Vec> to = grid_.step(r.pos, *a.move);
+          if (!to) throw std::logic_error("robot would leave the grid");
+          r.pos = *to;
         }
       }
       mark_visited(grid_, next);
@@ -276,9 +284,9 @@ class Checker {
           McState next = s;
           McRobot& nr = next.robots[i];
           if (nr.pending_move >= 0) {
-            const Vec to = nr.pos + dir_vec(static_cast<Dir>(nr.pending_move));
-            if (!grid_.contains(to)) throw std::logic_error("robot would leave the grid");
-            nr.pos = to;
+            const std::optional<Vec> to = grid_.step(nr.pos, static_cast<Dir>(nr.pending_move));
+            if (!to) throw std::logic_error("robot would leave the grid");
+            nr.pos = *to;
           }
           nr.phase = McPhase::Idle;
           nr.pending_move = -1;
@@ -297,6 +305,7 @@ class Checker {
   const Grid& grid_;
   CheckModel model_;
   CheckOptions opts_;
+  mutable std::uint64_t full_mask_ = 0;  ///< lazily cached coverage target
   CheckResult result_;
   std::unordered_map<std::string, std::uint8_t> color_;  // 1 gray, 2 black
 };

@@ -10,8 +10,10 @@ std::string describe_run(const RunResult& r, const Grid& grid) {
   if (!r.failure.empty()) return r.failure;
   if (!r.terminated) return "did not terminate";
   if (!r.explored_all) {
+    // Coverage is measured against the reachable (non-wall) nodes, not the
+    // bounding box — on a plain grid the two coincide.
     return "terminated after visiting " + std::to_string(r.visited_count()) + "/" +
-           std::to_string(grid.num_nodes()) + " nodes";
+           std::to_string(grid.reachable_nodes()) + " nodes";
   }
   return "";
 }

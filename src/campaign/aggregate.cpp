@@ -48,6 +48,18 @@ double LongStat::variance() const {
   return std::max(0.0, static_cast<double>(sum_squares) / count - m * m);
 }
 
+double LongStat::mean_ci95_halfwidth() const {
+  if (count <= 1) return 0.0;
+  const double n = static_cast<double>(count);
+  // Unbiased sample variance from the exact sums; the sum*sum product is
+  // formed in double (it can exceed 64 bits) and clamped against the few
+  // ulps of cancellation noise large samples can produce.
+  const double centered =
+      static_cast<double>(sum_squares) - static_cast<double>(sum) * static_cast<double>(sum) / n;
+  const double sample_variance = std::max(0.0, centered / (n - 1.0));
+  return 1.96 * std::sqrt(sample_variance / n);
+}
+
 long LongStat::percentile(double q) const {
   if (count == 0) return 0;
   // NaN-safe clamp (std::clamp passes NaN through, and casting a NaN rank to

@@ -32,6 +32,12 @@ struct LongStat {
   double mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / count; }
   /// Population variance, from the exact sums (order-independent).
   double variance() const;
+  /// Half-width of the normal-approximation 95% confidence interval on the
+  /// mean: 1.96 * sqrt(s^2 / n) with the unbiased sample variance s^2.
+  /// Computed from the exact merged sums, so any disjoint sharding of the
+  /// stream reports the identical interval (exact-mergeable, like every
+  /// other statistic here); 0 for n <= 1, where no spread is estimable.
+  double mean_ci95_halfwidth() const;
   /// Upper-bound estimate of the q-quantile (q in [0,1]) from the log2
   /// histogram: the top of the bucket holding the ceil(q*count)-th smallest
   /// sample, clamped to [min, max].  Exact for 0/1-valued streams; within a

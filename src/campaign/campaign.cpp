@@ -10,6 +10,7 @@
 #include "src/campaign/thread_pool.hpp"
 #include "src/sched/async_schedulers.hpp"
 #include "src/sched/sync_schedulers.hpp"
+#include "src/topo/topology.hpp"
 
 namespace lumi::campaign {
 
@@ -113,8 +114,8 @@ std::optional<IntRange> range_from_string(const std::string& text) {
 }
 
 std::string to_string(const Cell& cell) {
-  return cell.section + " " + std::to_string(cell.rows) + "x" + std::to_string(cell.cols) + " " +
-         to_string(cell.sched);
+  return cell.section + " " + std::to_string(cell.rows) + "x" + std::to_string(cell.cols) +
+         (cell.topo == "grid" ? "" : "/" + cell.topo) + " " + to_string(cell.sched);
 }
 
 Expansion expand(const Matrix& matrix) {
@@ -132,18 +133,44 @@ Expansion expand(const Matrix& matrix) {
           throw std::invalid_argument("expand: grid " + std::to_string(r) + "x" +
                                       std::to_string(c) + " below minimum of " + section);
         }
-        for (SchedKind kind : matrix.schedulers) {
-          if (!compatible(alg.model, kind)) {
+        for (const std::string& spec : matrix.topologies) {
+          // Build once at expansion: canonicalizes the spec (e.g. "holes" ->
+          // "holes:2x2@3x3" at these dimensions), rejects families that
+          // cannot exist here, and checks the algorithm's initial placement
+          // survives the wall mask.
+          std::string canonical;
+          bool placement_ok = true;
+          try {
+            const Topology topo = make_topology(spec, r, c);
+            canonical = topo.spec();
+            for (const auto& [pos, color] : alg.initial_robots) {
+              (void)color;
+              placement_ok = placement_ok && topo.contains(pos);
+            }
+          } catch (const std::exception& err) {
             if (matrix.skip_incompatible) continue;
-            throw std::invalid_argument("expand: scheduler " + to_string(kind) +
-                                        " incompatible with " + section);
+            throw std::invalid_argument("expand: topology '" + spec + "' at " +
+                                        std::to_string(r) + "x" + std::to_string(c) + ": " +
+                                        err.what());
           }
-          const std::size_t cell = out.cells.size();
-          out.cells.push_back({section, r, c, kind});
-          if (sched_is_deterministic(kind)) {
-            out.jobs.push_back({cell, 0});
-          } else {
-            for (unsigned seed : matrix.seeds) out.jobs.push_back({cell, seed});
+          if (!placement_ok) {
+            if (matrix.skip_incompatible) continue;
+            throw std::invalid_argument("expand: topology '" + spec +
+                                        "' walls the initial placement of " + section);
+          }
+          for (SchedKind kind : matrix.schedulers) {
+            if (!compatible(alg.model, kind)) {
+              if (matrix.skip_incompatible) continue;
+              throw std::invalid_argument("expand: scheduler " + to_string(kind) +
+                                          " incompatible with " + section);
+            }
+            const std::size_t cell = out.cells.size();
+            out.cells.push_back({section, r, c, kind, canonical});
+            if (sched_is_deterministic(kind)) {
+              out.jobs.push_back({cell, 0});
+            } else {
+              for (unsigned seed : matrix.seeds) out.jobs.push_back({cell, seed});
+            }
           }
         }
       }
@@ -152,41 +179,45 @@ Expansion expand(const Matrix& matrix) {
   return out;
 }
 
-RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options) {
+RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options,
+                   WarmStartSlot* warm) {
   const Algorithm alg = algorithms::entry(cell.section).make();
-  const Grid grid(cell.rows, cell.cols);
+  const Topology topo = make_topology(cell.topo, cell.rows, cell.cols);
+  RunOptions opts = options;
+  opts.warm_start = warm;
   switch (cell.sched) {
     case SchedKind::Fsync: {
       FsyncScheduler s(seed);
-      return run_sync(alg, grid, s, options);
+      return run_sync(alg, topo, s, opts);
     }
     case SchedKind::SsyncRandom: {
       SsyncRandomScheduler s(seed);
-      return run_sync(alg, grid, s, options);
+      return run_sync(alg, topo, s, opts);
     }
     case SchedKind::SsyncRoundRobin: {
       SsyncRoundRobinScheduler s;
-      return run_sync(alg, grid, s, options);
+      return run_sync(alg, topo, s, opts);
     }
     case SchedKind::AsyncRandom: {
       AsyncRandomScheduler s(seed);
-      return run_async(alg, grid, s, options);
+      return run_async(alg, topo, s, opts);
     }
     case SchedKind::AsyncCentralized: {
       AsyncCentralizedScheduler s;
-      return run_async(alg, grid, s, options);
+      return run_async(alg, topo, s, opts);
     }
     case SchedKind::AsyncStaleStress: {
       AsyncStaleStressScheduler s(seed);
-      return run_async(alg, grid, s, options);
+      return run_async(alg, topo, s, opts);
     }
   }
   throw std::invalid_argument("run_cell: bad SchedKind");
 }
 
-RunResult run_cell_guarded(const Cell& cell, unsigned seed, const RunOptions& options) {
+RunResult run_cell_guarded(const Cell& cell, unsigned seed, const RunOptions& options,
+                           WarmStartSlot* warm) {
   try {
-    return run_cell(cell, seed, options);
+    return run_cell(cell, seed, options, warm);
   } catch (const std::exception& e) {
     RunResult r;
     r.failure = std::string("exception: ") + e.what();
@@ -203,10 +234,14 @@ CampaignSummary run_campaign(const Expansion& expansion, unsigned threads) {
   // any worker count.
   std::vector<CampaignAccumulator> per_worker(pool.size(),
                                               CampaignAccumulator(expansion.cells.size()));
+  // One warm-start slot per cell: the first job of a cell publishes its
+  // initial verdict table, the cell's other seeds skip the initial full
+  // compute (pure perf — summaries are identical either way).
+  std::vector<WarmStartSlot> warm(expansion.cells.size());
   for (const Job& job : expansion.jobs) {
-    pool.submit([&expansion, &per_worker, &pool, job] {
+    pool.submit([&expansion, &per_worker, &pool, &warm, job] {
       const RunResult result = run_cell_guarded(expansion.cells[job.cell], job.seed,
-                                               expansion.options);
+                                               expansion.options, &warm[job.cell]);
       per_worker[static_cast<std::size_t>(pool.worker_index())].add(job.cell, result);
     });
   }

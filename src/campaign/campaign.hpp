@@ -1,7 +1,10 @@
 // Declarative scenario campaigns: a matrix of algorithms (registry sections)
-// x grid dimensions x schedulers x seeds is expanded into jobs, executed on a
-// work-stealing thread pool, and aggregated into per-cell and per-campaign
-// summaries.  For fixed seeds the summary is identical for any worker count.
+// x bounding-box dimensions x topologies x schedulers x seeds is expanded
+// into jobs, executed on a work-stealing thread pool, and aggregated into
+// per-cell and per-campaign summaries.  For fixed seeds the summary is
+// identical for any worker count.  Topology specs ("grid", "torus",
+// "holes", "obstacles:15:7", ... — src/topo/topology.hpp) are a first-class
+// cell axis: they shard, checkpoint, resume and merge exactly like grids.
 #pragma once
 
 #include <cstddef>
@@ -68,13 +71,19 @@ struct Matrix {
   std::vector<std::string> sections;
   IntRange rows;
   IntRange cols;
+  /// Topology specs to sweep at every (rows, cols) point; "grid" is the
+  /// seed behavior.  Canonicalized at expansion (e.g. "holes" becomes the
+  /// explicit "holes:HxW@RxC" for the cell's dimensions).
+  std::vector<std::string> topologies = {"grid"};
   std::vector<SchedKind> schedulers;
   /// Seeds for randomized schedulers; deterministic ones always contribute
   /// exactly one job per cell.
   std::vector<unsigned> seeds = {1};
   RunOptions options;
   /// Skip (rather than fail) combinations the model forbids: grids below the
-  /// algorithm's minimum and schedulers more asynchronous than its model.
+  /// algorithm's minimum, topologies that cannot be built at the cell's
+  /// dimensions (or whose walls displace the initial placement), and
+  /// schedulers more asynchronous than the algorithm's model.
   bool skip_incompatible = true;
 };
 
@@ -85,6 +94,7 @@ struct Cell {
   int rows = 0;
   int cols = 0;
   SchedKind sched = SchedKind::Fsync;
+  std::string topo = "grid";  ///< canonical topology spec
 
   friend bool operator==(const Cell&, const Cell&) = default;
 };
@@ -108,11 +118,16 @@ struct Expansion {
 Expansion expand(const Matrix& matrix);
 
 /// Executes one job (used by the runner; exposed for tests/benches).
-RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options);
+/// `warm`, when given, is the cell's shared initial-verdict slot (see
+/// WarmStartSlot): runs after the first skip the tracker's initial full
+/// compute.  Results are identical with or without it.
+RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options,
+                   WarmStartSlot* warm = nullptr);
 
 /// Like run_cell, but converts an escaping exception into a RunResult whose
 /// failure string records it (campaigns never abort on a single bad job).
-RunResult run_cell_guarded(const Cell& cell, unsigned seed, const RunOptions& options);
+RunResult run_cell_guarded(const Cell& cell, unsigned seed, const RunOptions& options,
+                           WarmStartSlot* warm = nullptr);
 
 struct CellSummary {
   Cell cell;

@@ -11,7 +11,10 @@ namespace lumi::campaign {
 namespace {
 
 constexpr const char* kMagic = "lumi-campaign-checkpoint";
-constexpr int kVersion = 1;
+// v2: the cell record carries the topology spec token (between the
+// scheduler and section fields); v1 files predate the topology axis and are
+// rejected rather than guessed at.
+constexpr int kVersion = 2;
 constexpr const char* kStatNames[] = {"instants", "activations", "moves", "color_changes",
                                       "visited"};
 
@@ -95,13 +98,13 @@ std::uint64_t expansion_fingerprint(const Expansion& expansion) {
       h *= 1099511628211ULL;
     }
   };
-  mix("v1|" + std::to_string(expansion.options.max_steps) + '|' +
+  mix("v2|" + std::to_string(expansion.options.max_steps) + '|' +
       std::to_string(expansion.options.record_trace) + '|' +
       std::to_string(expansion.options.require_unique_actions) + '|' +
       std::to_string(expansion.cells.size()));
   for (const Cell& cell : expansion.cells) {
     mix('|' + cell.section + '|' + std::to_string(cell.rows) + 'x' + std::to_string(cell.cols) +
-        '|' + to_string(cell.sched));
+        '|' + cell.topo + '|' + to_string(cell.sched));
   }
   return h;
 }
@@ -125,7 +128,8 @@ std::string checkpoint_serialize(const Checkpoint& checkpoint) {
   for (std::size_t i = 0; i < checkpoint.cells.size(); ++i) {
     const CheckpointCell& c = checkpoint.cells[i];
     out << "cell " << i << ' ' << c.cell.rows << ' ' << c.cell.cols << ' '
-        << to_string(c.cell.sched) << ' ' << encode_token(c.cell.section) << '\n';
+        << to_string(c.cell.sched) << ' ' << encode_token(c.cell.topo) << ' '
+        << encode_token(c.cell.section) << '\n';
     out << "acc " << c.acc.runs << ' ' << c.acc.terminated << ' ' << c.acc.explored_all << ' '
         << c.acc.failures << '\n';
     const LongStat* stats[] = {&c.acc.instants, &c.acc.activations, &c.acc.moves,
@@ -186,13 +190,15 @@ Checkpoint checkpoint_parse(const std::string& text) {
       std::istringstream ls = next_line();
       expect_keyword(ls, "cell");
       std::size_t index = 0;
-      std::string sched, section;
-      if (!(ls >> index >> c.cell.rows >> c.cell.cols >> sched >> section) || index != i) {
+      std::string sched, topo, section;
+      if (!(ls >> index >> c.cell.rows >> c.cell.cols >> sched >> topo >> section) ||
+          index != i) {
         fail(lineno, "bad cell record");
       }
       const auto kind = sched_from_name(sched);
       if (!kind) fail(lineno, "unknown scheduler '" + sched + "'");
       c.cell.sched = *kind;
+      c.cell.topo = decode_token(topo);
       c.cell.section = decode_token(section);
     }
     {

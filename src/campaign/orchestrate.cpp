@@ -159,6 +159,12 @@ OrchestratorReport run_orchestrated(const Expansion& expansion,
     report.summary.threads = pool.size();
     CheckpointFlusher flusher(options.checkpoint_path, options.flush_seconds, state_mu, ck,
                               version);
+    // Per-cell warm-start slots shared by base and escalation jobs: only the
+    // first run of a cell pays the tracker's initial full compute.  Pure
+    // perf — checkpoints and summaries are identical either way, so resumed
+    // and sharded legs merge byte-identically regardless of which run warmed
+    // which cell.
+    std::vector<WarmStartSlot> warm(expansion.cells.size());
 
     // Submits every job not already covered by the checkpoint, honoring the
     // per-invocation cap.  Returns false once the cap cut submission short.
@@ -174,9 +180,9 @@ OrchestratorReport run_orchestrated(const Expansion& expansion,
         if (options.max_jobs != 0 && report.jobs_executed >= options.max_jobs) return false;
         ++report.jobs_executed;
         if (!base_pass) ++report.escalation_jobs;
-        pool.submit([&expansion, &ck, &state_mu, &version, job] {
-          const RunResult result =
-              run_cell_guarded(expansion.cells[job.cell], job.seed, expansion.options);
+        pool.submit([&expansion, &ck, &state_mu, &version, &warm, job] {
+          const RunResult result = run_cell_guarded(expansion.cells[job.cell], job.seed,
+                                                    expansion.options, &warm[job.cell]);
           std::lock_guard lock(state_mu);
           CheckpointCell& cell = ck.cells[job.cell];
           cell.acc.add(result);

@@ -6,27 +6,29 @@
 
 namespace lumi {
 
-Configuration::Configuration(Grid grid, std::vector<Robot> robots)
-    : grid_(grid),
+Configuration::Configuration(Topology topo, std::vector<Robot> robots)
+    : grid_(std::move(topo)),
       robots_(std::move(robots)),
       occupancy_(static_cast<std::size_t>(grid_.num_nodes())) {
-  for (const Robot& r : robots_) {
-    if (!grid_.contains(r.pos)) throw std::invalid_argument("robot placed outside the grid");
-    occupancy_[static_cast<std::size_t>(grid_.index(r.pos))].add(r.color);
+  for (Robot& r : robots_) {
+    const int idx = grid_.canonical_index(r.pos);
+    if (idx < 0) throw std::invalid_argument("robot placed outside the grid");
+    r.pos = grid_.node(idx);  // canonical storage (wrapped placements fold in)
+    occupancy_[static_cast<std::size_t>(idx)].add(r.color);
   }
 }
 
 void Configuration::move_robot(int i, Vec to) {
   Robot& r = robots_.at(static_cast<std::size_t>(i));
-  if (!grid_.contains(to)) throw std::logic_error("move_robot: target outside the grid");
-  if (manhattan(r.pos, to) != 1) throw std::logic_error("move_robot: target not adjacent");
-  const int to_index = grid_.index(to);
+  const int to_index = grid_.canonical_index(to);
+  if (to_index < 0) throw std::logic_error("move_robot: target outside the grid");
+  if (!grid_.are_adjacent(r.pos, to)) throw std::logic_error("move_robot: target not adjacent");
   const int from_index = grid_.index(r.pos);
   // Add before remove: add can throw (destination stack overflow) and must
   // do so before any state changed; removing a present color cannot throw.
   occupancy_[static_cast<std::size_t>(to_index)].add(r.color);
   occupancy_[static_cast<std::size_t>(from_index)].remove(r.color);
-  r.pos = to;
+  r.pos = grid_.node(to_index);
   if (journal_enabled_) {
     journal_.push_back(from_index);
     journal_.push_back(to_index);
@@ -43,7 +45,8 @@ std::vector<Robot> Configuration::canonical_robots() const {
 }
 
 std::uint64_t Configuration::canonical_hash() const {
-  // FNV-1a over the canonical robot listing plus grid dimensions.
+  // FNV-1a over the canonical robot listing plus the world shape (dimensions
+  // for a plain grid — the seed hash — plus the spec for other families).
   std::uint64_t h = 1469598103934665603ULL;
   auto mix = [&h](std::uint64_t x) {
     h ^= x;
@@ -51,6 +54,9 @@ std::uint64_t Configuration::canonical_hash() const {
   };
   mix(static_cast<std::uint64_t>(grid_.rows()));
   mix(static_cast<std::uint64_t>(grid_.cols()));
+  if (grid_.family() != Topology::Family::Grid) {
+    for (const char c : grid_.spec()) mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
   for (const Robot& r : canonical_robots()) {
     mix(static_cast<std::uint64_t>(grid_.index(r.pos)));
     mix(static_cast<std::uint64_t>(r.color));
@@ -87,12 +93,12 @@ std::string Configuration::to_string() const {
 }
 
 Configuration make_configuration(
-    Grid grid, const std::vector<std::pair<Vec, std::vector<Color>>>& placements) {
+    Topology topo, const std::vector<std::pair<Vec, std::vector<Color>>>& placements) {
   std::vector<Robot> robots;
   for (const auto& [pos, colors] : placements) {
     for (Color c : colors) robots.push_back(Robot{pos, c});
   }
-  return Configuration(grid, std::move(robots));
+  return Configuration(std::move(topo), std::move(robots));
 }
 
 }  // namespace lumi

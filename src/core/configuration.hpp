@@ -1,12 +1,16 @@
-// Configurations: positions and light colors of all robots on a grid.
+// Configurations: positions and light colors of all robots on a topology
+// (plain grid, ring, torus, holed/obstacle grid — src/topo/topology.hpp).
 //
 // Robots are anonymous in the model, but the simulator tracks them by index
 // so that the ASYNC engine can attribute pending phases.  Canonical listing /
 // hashing treat robots as interchangeable.
 //
-// The configuration keeps a grid-indexed occupancy array incrementally
-// up to date in move_robot/set_color, so cell() and multiset_at() — the
-// snapshot hot path — are O(1) lookups instead of O(robots) scans.
+// The configuration keeps a bounding-box-indexed occupancy array
+// incrementally up to date in move_robot/set_color, so cell() and
+// multiset_at() — the snapshot hot path — are O(1) lookups instead of
+// O(robots) scans.  Membership and wraparound funnel through
+// Topology::canonical_index, so a view across a torus seam or into an
+// obstacle wall needs no special casing here.
 //
 // An opt-in change journal records the node indices whose content changed
 // (a recolor touches one node, a move two); the incremental match layer
@@ -42,9 +46,15 @@ struct CellContent {
 
 class Configuration {
  public:
-  Configuration(Grid grid, std::vector<Robot> robots);
+  /// Robots must sit on real nodes; on wrapped topologies out-of-box
+  /// placements are canonicalized, on bounded ones they throw (the seed
+  /// Grid behavior).
+  Configuration(Topology topo, std::vector<Robot> robots);
 
-  const Grid& grid() const { return grid_; }
+  const Topology& topology() const { return grid_; }
+  /// Historical spelling; the world has been a Topology since the topology
+  /// subsystem landed (plain grids are one family of it).
+  const Topology& grid() const { return grid_; }
   int num_robots() const { return static_cast<int>(robots_.size()); }
   const Robot& robot(int i) const { return robots_.at(static_cast<std::size_t>(i)); }
   const std::vector<Robot>& robots() const { return robots_; }
@@ -61,19 +71,34 @@ class Configuration {
     r.color = c;
     if (journal_enabled_) journal_.push_back(node_index);
   }
-  /// Moves robot `i` to `to`; throws std::logic_error if `to` is off-grid or
-  /// not adjacent to the robot's current node (robots move along edges).
+  /// Moves robot `i` to `to`; throws std::logic_error if `to` is off-world
+  /// (outside a bounded axis, or a wall) or not joined to the robot's
+  /// current node by an edge (robots move along edges; wraparound seam
+  /// edges count).  The stored position is canonical.
   void move_robot(int i, Vec to);
 
-  /// Multiset of colors on node v (empty when unoccupied).
+  /// Multiset of colors on the node `v` designates (empty when unoccupied).
   const ColorMultiset& multiset_at(Vec v) const {
     static constexpr ColorMultiset kEmpty;
-    if (!grid_.contains(v)) return kEmpty;
-    return occupancy_[static_cast<std::size_t>(grid_.index(v))];
+    const int idx = grid_.canonical_index(v);
+    if (idx < 0) return kEmpty;
+    return occupancy_[static_cast<std::size_t>(idx)];
   }
-  /// Cell content including walls for off-grid v.
+  /// Cell content; wall = true for off-world or wall-masked v.
   CellContent cell(Vec v) const {
-    if (!grid_.contains(v)) return CellContent{.wall = true, .robots = {}};
+    const int idx = grid_.canonical_index(v);
+    if (idx < 0) return CellContent{.wall = true, .robots = {}};
+    return CellContent{.wall = false, .robots = occupancy_[static_cast<std::size_t>(idx)]};
+  }
+  /// Seed-grid cell lookup: bounds check + row-major occupancy, no topology
+  /// dispatch.  Precondition: topology().plain().  The snapshot loop — the
+  /// innermost code of the simulator — branches on plain() once and calls
+  /// this per cell, so plain grids pay nothing for the topology abstraction
+  /// (bench_campaign gates this at 5%).
+  CellContent cell_plain(Vec v) const {
+    if (v.row < 0 || v.row >= grid_.rows() || v.col < 0 || v.col >= grid_.cols()) {
+      return CellContent{.wall = true, .robots = {}};
+    }
     return CellContent{.wall = false,
                        .robots = occupancy_[static_cast<std::size_t>(grid_.index(v))]};
   }
@@ -103,7 +128,7 @@ class Configuration {
   void clear_journal() { journal_.clear(); }
 
  private:
-  Grid grid_;
+  Topology grid_;
   std::vector<Robot> robots_;
   /// Node-indexed color multisets, maintained incrementally.
   std::vector<ColorMultiset> occupancy_;
@@ -113,6 +138,6 @@ class Configuration {
 
 /// Convenience: builds a configuration from (node, colors...) placements.
 Configuration make_configuration(
-    Grid grid, const std::vector<std::pair<Vec, std::vector<Color>>>& placements);
+    Topology topo, const std::vector<std::pair<Vec, std::vector<Color>>>& placements);
 
 }  // namespace lumi

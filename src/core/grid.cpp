@@ -1,3 +1,4 @@
 #include "src/core/grid.hpp"
 
-// Header-only for now; this translation unit anchors the type for the build.
+// Grid is an alias of Topology (src/topo/topology.cpp holds the
+// implementation); this translation unit anchors the historical name.

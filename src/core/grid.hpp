@@ -1,56 +1,17 @@
 // Finite m x n grid graph (the paper's G = (V, E)).
+//
+// Since the topology subsystem landed, the plain grid is one family of
+// src/topo/topology.hpp's Topology, and `Grid` is an alias of that class:
+// Grid(rows, cols) constructs the plain family with the seed semantics
+// (bounds-checked membership, row-major indexing, walls outside the box),
+// so every pre-topology call site — and every golden trace — is the
+// plain-grid-through-Topology path.
 #pragma once
 
-#include <stdexcept>
-#include <string>
-
-#include "src/core/geometry.hpp"
+#include "src/topo/topology.hpp"
 
 namespace lumi {
 
-/// Finite grid of `rows x cols` nodes; nodes are addressed by Vec{row, col}
-/// with 0 <= row < rows and 0 <= col < cols.  Edges connect nodes at
-/// Manhattan distance 1 (implicit; the class only answers membership and
-/// indexing queries).
-class Grid {
- public:
-  Grid(int rows, int cols) : rows_(rows), cols_(cols) {
-    if (rows < 1 || cols < 1) throw std::invalid_argument("Grid dimensions must be positive");
-  }
-
-  int rows() const { return rows_; }
-  int cols() const { return cols_; }
-  int num_nodes() const { return rows_ * cols_; }
-
-  bool contains(Vec v) const {
-    return v.row >= 0 && v.row < rows_ && v.col >= 0 && v.col < cols_;
-  }
-
-  /// Row-major node index; precondition: contains(v).
-  int index(Vec v) const { return v.row * cols_ + v.col; }
-  Vec node(int index) const { return {index / cols_, index % cols_}; }
-
-  /// Degree-based classification used in Theorem 1's proof.
-  bool is_end_node(Vec v) const {
-    int degree = 0;
-    for (Dir d : kAllDirs) degree += contains(v + dir_vec(d)) ? 1 : 0;
-    return degree < 4;
-  }
-  /// Inner node: at distance >= 3 from every end node, i.e. at least 3 away
-  /// from every border.
-  bool is_inner_node(Vec v) const {
-    return v.row >= 3 && v.row < rows_ - 3 && v.col >= 3 && v.col < cols_ - 3;
-  }
-
-  friend bool operator==(const Grid&, const Grid&) = default;
-
-  std::string to_string() const {
-    return std::to_string(rows_) + "x" + std::to_string(cols_);
-  }
-
- private:
-  int rows_;
-  int cols_;
-};
+using Grid = Topology;
 
 }  // namespace lumi

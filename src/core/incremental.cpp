@@ -4,7 +4,28 @@
 
 namespace lumi {
 
-DirtyTracker::DirtyTracker(std::shared_ptr<const CompiledAlgorithm> alg, Configuration& config)
+std::uint64_t indexed_placement_hash(const Configuration& config) {
+  // Unlike Configuration::canonical_hash, robots are mixed in *index* order:
+  // the warm-start table is indexed by robot, so a permutation of the same
+  // anonymous placement is a different identity here.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  const Topology& topo = config.topology();
+  mix(static_cast<std::uint64_t>(topo.rows()));
+  mix(static_cast<std::uint64_t>(topo.cols()));
+  for (const char c : topo.spec()) mix(static_cast<unsigned char>(c));
+  for (const Robot& r : config.robots()) {
+    mix(static_cast<std::uint64_t>(topo.index(r.pos)));
+    mix(static_cast<std::uint64_t>(r.color));
+  }
+  return h;
+}
+
+DirtyTracker::DirtyTracker(std::shared_ptr<const CompiledAlgorithm> alg, Configuration& config,
+                           const TrackerWarmStart* warm)
     : alg_(std::move(alg)),
       config_(&config),
       actions_(static_cast<std::size_t>(config.num_robots())),
@@ -13,13 +34,23 @@ DirtyTracker::DirtyTracker(std::shared_ptr<const CompiledAlgorithm> alg, Configu
       next_(static_cast<std::size_t>(config.num_robots()), -1),
       dirty_(static_cast<std::size_t>(config.num_robots()), 0) {
   config.set_journal(true);
+  // A warm start replaces the initial full compute when it provably belongs
+  // to this configuration; anything else falls back to computing.
+  const bool warm_hit = warm != nullptr &&
+                        warm->actions.size() == actions_.size() &&
+                        warm->config_hash == indexed_placement_hash(config);
+  if (warm_hit) actions_ = warm->actions;
   for (int r = 0; r < config.num_robots(); ++r) {
     const Vec pos = config.robot(r).pos;
     positions_[static_cast<std::size_t>(r)] = pos;
     list_insert(config.grid().index(pos), r);
-    recompute(r);
+    if (!warm_hit) recompute(r);
   }
-  counters_.recomputed += config.num_robots();
+  if (warm_hit) {
+    counters_.warm_reused += config.num_robots();
+  } else {
+    counters_.recomputed += config.num_robots();
+  }
 }
 
 DirtyTracker::~DirtyTracker() { config_->set_journal(false); }
@@ -42,15 +73,19 @@ void DirtyTracker::refresh() {
     counters_.reused += n;
     return;
   }
-  const Grid& grid = config_->grid();
+  const Topology& grid = config_->topology();
   const ViewKernel& kernel = ViewKernel::get(alg_->phi());
   std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
   for (const int node : journal) {
     const Vec v = grid.node(node);
     for (const Vec o : kernel.offsets()) {
-      const Vec p = v + o;
-      if (!grid.contains(p)) continue;
-      for (int r = head_[static_cast<std::size_t>(grid.index(p))]; r >= 0;
+      // The kernel is symmetric, so robot r sees node v iff r sits on the
+      // node v + o designates for some offset o — including across a
+      // wraparound seam, which canonical_index folds in (a node reachable
+      // through several offsets is just marked twice).
+      const int pi = grid.canonical_index(v + o);
+      if (pi < 0) continue;
+      for (int r = head_[static_cast<std::size_t>(pi)]; r >= 0;
            r = next_[static_cast<std::size_t>(r)]) {
         dirty_[static_cast<std::size_t>(r)] = 1;
       }

@@ -51,8 +51,17 @@ void take_snapshot_into(const Configuration& config, int robot, int phi, Snapsho
   out.self_color = r.color;
   out.phi = phi;
   const std::span<const Vec> offsets = kernel.offsets();
-  for (std::size_t i = 0; i < offsets.size(); ++i) {
-    out.cells[i] = config.cell(r.pos + offsets[i]);
+  if (config.topology().plain()) {
+    // Plain grids — the paper's world and the bulk of every campaign — skip
+    // the per-cell topology dispatch: one branch per snapshot, then the seed
+    // bounds-check + row-major lookup per cell.
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+      out.cells[i] = config.cell_plain(r.pos + offsets[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+      out.cells[i] = config.cell(r.pos + offsets[i]);
+    }
   }
 }
 

@@ -4,13 +4,19 @@
 
 namespace lumi {
 
-AsyncEngine::AsyncEngine(const Algorithm& alg, Configuration initial, bool incremental)
+AsyncEngine::AsyncEngine(const Algorithm& alg, Configuration initial, bool incremental,
+                         WarmStartSlot* warm)
     : alg_(&alg),
       compiled_(CompiledAlgorithm::get(alg)),
       config_(std::move(initial)),
       phases_(static_cast<std::size_t>(config_.num_robots()), Phase::Idle),
       pending_(static_cast<std::size_t>(config_.num_robots())) {
-  if (incremental) tracker_ = std::make_unique<DirtyTracker>(compiled_, config_);
+  if (incremental) {
+    std::shared_ptr<const TrackerWarmStart> table;
+    if (warm != nullptr) table = warm->get();
+    tracker_ = std::make_unique<DirtyTracker>(compiled_, config_, table.get());
+    if (warm != nullptr && !tracker_->warm_started()) warm->set(tracker_->export_warm());
+  }
 }
 
 const Action& AsyncEngine::pending(int robot) const {
@@ -97,11 +103,10 @@ void AsyncEngine::activate(int robot, std::optional<Action> chosen) {
       if (chosen.has_value()) throw std::logic_error("activate: choice only valid at Look");
       const Action& act = pending_[static_cast<std::size_t>(robot)];
       if (act.move.has_value()) {
-        const Vec to = config_.robot(robot).pos + dir_vec(*act.move);
-        if (!config_.grid().contains(to)) {
-          throw std::logic_error("AsyncEngine: robot would leave the grid");
-        }
-        config_.move_robot(robot, to);
+        const std::optional<Vec> to =
+            config_.topology().step(config_.robot(robot).pos, *act.move);
+        if (!to) throw std::logic_error("AsyncEngine: robot would leave the grid");
+        config_.move_robot(robot, *to);
       }
       phase = Phase::Idle;
       if (tracker_) tracker_->refresh();

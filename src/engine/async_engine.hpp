@@ -34,8 +34,12 @@ class AsyncEngine {
   /// the dirty tracker, re-matching only robots whose view covers a cell the
   /// last event changed — Look events change nothing, so two of every three
   /// events refresh for free.  Off = recompute-per-query reference path;
-  /// observable behavior is identical either way.
-  explicit AsyncEngine(const Algorithm& alg, Configuration initial, bool incremental = true);
+  /// observable behavior is identical either way.  `warm` (optional, used
+  /// with `incremental`) is a per-cell cache of initial verdict tables: a
+  /// published table matching the initial configuration skips the tracker's
+  /// initial full compute; otherwise this engine publishes its own.
+  explicit AsyncEngine(const Algorithm& alg, Configuration initial, bool incremental = true,
+                       WarmStartSlot* warm = nullptr);
 
   // The tracker holds a pointer into config_, so the engine must not move.
   AsyncEngine(const AsyncEngine&) = delete;

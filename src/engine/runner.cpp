@@ -9,17 +9,19 @@ namespace lumi {
 
 namespace {
 
-void mark_visited(std::vector<bool>& visited, const Grid& grid, const Configuration& config) {
+void mark_visited(std::vector<bool>& visited, const Topology& topo, const Configuration& config) {
   for (const Robot& r : config.robots()) {
-    visited[static_cast<std::size_t>(grid.index(r.pos))] = true;
+    visited[static_cast<std::size_t>(topo.index(r.pos))] = true;
   }
 }
 
-bool all_visited(const std::vector<bool>& visited) {
-  for (bool v : visited) {
-    if (!v) return false;
-  }
-  return true;
+/// Full exploration covers every reachable node; wall cells of the bounding
+/// box are never visited and never required.  Robots only ever stand on real
+/// nodes, so comparing counts is exact.
+bool all_explored(const std::vector<bool>& visited, const Topology& topo) {
+  int n = 0;
+  for (bool v : visited) n += v ? 1 : 0;
+  return n == topo.reachable_nodes();
 }
 
 std::string describe(const Algorithm& alg, const RobotAction& ra) {
@@ -32,26 +34,36 @@ std::string describe(const Algorithm& alg, const RobotAction& ra) {
 
 }  // namespace
 
-RunResult run_sync(const Algorithm& alg, const Grid& grid, SyncScheduler& sched,
+RunResult run_sync(const Algorithm& alg, const Topology& topo, SyncScheduler& sched,
                    const RunOptions& opts) {
   // Compile the matcher once per run; every instant reuses the shared tables.
   const std::shared_ptr<const CompiledAlgorithm> compiled = CompiledAlgorithm::get(alg);
-  Configuration config = alg.initial_configuration(grid);
+  Configuration config = alg.initial_configuration(topo);
   // With dirty tracking, each instant re-matches only the robots whose view
   // covers a cell the previous instant changed; everyone else keeps the
   // cached verdict.  `tracker` outlives the loop so verdicts carry across
   // instants.  (Declared after `config`: it holds a pointer into it.)
   std::optional<DirtyTracker> tracker;
-  if (opts.incremental) tracker.emplace(compiled, config);
+  if (opts.incremental) {
+    // Per-cell warm start: adopt the cached initial verdict table when one
+    // is published for this initial configuration; publish ours otherwise.
+    std::shared_ptr<const TrackerWarmStart> warm;
+    if (opts.warm_start != nullptr) warm = opts.warm_start->get();
+    tracker.emplace(compiled, config, warm.get());
+    if (opts.warm_start != nullptr && !tracker->warm_started()) {
+      opts.warm_start->set(tracker->export_warm());
+    }
+  }
   std::vector<std::vector<Action>> scratch;
   const auto copy_counters = [&](RunResult& r) {
     if (!tracker) return;
     r.stats.match_reused = tracker->counters().reused;
     r.stats.match_recomputed = tracker->counters().recomputed;
+    r.stats.match_warm_reused = tracker->counters().warm_reused;
   };
   RunResult result;
-  result.visited.assign(static_cast<std::size_t>(grid.num_nodes()), false);
-  mark_visited(result.visited, grid, config);
+  result.visited.assign(static_cast<std::size_t>(topo.num_nodes()), false);
+  mark_visited(result.visited, topo, config);
   if (opts.record_trace) result.trace.push(config, "initial");
 
   for (long step = 0; step < opts.max_steps; ++step) {
@@ -75,7 +87,7 @@ RunResult run_sync(const Algorithm& alg, const Grid& grid, SyncScheduler& sched,
     }
     if (!any_enabled) {
       result.terminated = true;
-      result.explored_all = all_visited(result.visited);
+      result.explored_all = all_explored(result.visited, topo);
       copy_counters(result);
       return result;
     }
@@ -95,7 +107,7 @@ RunResult run_sync(const Algorithm& alg, const Grid& grid, SyncScheduler& sched,
     }
     apply_sync_step(config, selected);
     result.stats.instants += 1;
-    mark_visited(result.visited, grid, config);
+    mark_visited(result.visited, topo, config);
     if (opts.record_trace) result.trace.push(config, note);
   }
   result.failure = "step budget exhausted (" + std::to_string(opts.max_steps) + " instants)";
@@ -103,23 +115,24 @@ RunResult run_sync(const Algorithm& alg, const Grid& grid, SyncScheduler& sched,
   return result;
 }
 
-RunResult run_async(const Algorithm& alg, const Grid& grid, AsyncScheduler& sched,
+RunResult run_async(const Algorithm& alg, const Topology& topo, AsyncScheduler& sched,
                     const RunOptions& opts) {
-  AsyncEngine engine(alg, alg.initial_configuration(grid), opts.incremental);
+  AsyncEngine engine(alg, alg.initial_configuration(topo), opts.incremental, opts.warm_start);
   RunResult result;
-  result.visited.assign(static_cast<std::size_t>(grid.num_nodes()), false);
-  mark_visited(result.visited, grid, engine.config());
+  result.visited.assign(static_cast<std::size_t>(topo.num_nodes()), false);
+  mark_visited(result.visited, topo, engine.config());
   if (opts.record_trace) result.trace.push(engine.config(), "initial");
   const auto copy_counters = [&engine](RunResult& r) {
     r.stats.match_reused = engine.match_counters().reused;
     r.stats.match_recomputed = engine.match_counters().recomputed;
+    r.stats.match_warm_reused = engine.match_counters().warm_reused;
   };
 
   for (long event = 0; event < opts.max_steps; ++event) {
     const std::vector<int> effective = engine.effective_robots();
     if (effective.empty()) {
       result.terminated = true;
-      result.explored_all = all_visited(result.visited);
+      result.explored_all = all_explored(result.visited, topo);
       copy_counters(result);
       return result;
     }
@@ -147,7 +160,7 @@ RunResult run_async(const Algorithm& alg, const Grid& grid, AsyncScheduler& sche
       engine.activate(robot);
     }
     result.stats.instants += 1;
-    mark_visited(result.visited, grid, engine.config());
+    mark_visited(result.visited, topo, engine.config());
     if (opts.record_trace) result.trace.push(engine.config(), note);
   }
   result.failure = "event budget exhausted (" + std::to_string(opts.max_steps) + " events)";

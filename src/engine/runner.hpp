@@ -1,11 +1,15 @@
-// Execution driver: runs an algorithm on a grid under a scheduler, tracking
-// node coverage, termination, statistics and (optionally) the full trace.
+// Execution driver: runs an algorithm on a topology (plain grid, ring,
+// torus, obstacle grid) under a scheduler, tracking node coverage,
+// termination, statistics and (optionally) the full trace.  Full
+// exploration means covering every *reachable* node — the topology's
+// non-wall nodes — not the whole bounding box.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "src/core/algorithm.hpp"
+#include "src/core/incremental.hpp"
 #include "src/sched/async_schedulers.hpp"
 #include "src/sched/sync_schedulers.hpp"
 #include "src/trace/trace.hpp"
@@ -23,6 +27,11 @@ struct RunOptions {
   /// Results are identical either way (pinned by tests/test_incremental.cpp);
   /// off is the recompute-everything reference path.
   bool incremental = true;
+  /// Optional cross-run verdict cache (campaigns pass the cell's slot): the
+  /// first run publishes the initial verdict table, later runs of the same
+  /// initial configuration skip the tracker's initial full compute.  Pure
+  /// perf — results are identical; not part of checkpoint fingerprints.
+  WarmStartSlot* warm_start = nullptr;
 };
 
 struct RunStats {
@@ -31,17 +40,19 @@ struct RunStats {
   long moves = 0;
   long color_changes = 0;  ///< cycles whose new color differs from the old
   /// Incremental-engine counters (zero on the recompute path): per-robot
-  /// match verdicts served from the dirty-tracker cache vs. re-matched.
+  /// match verdicts served from the dirty-tracker cache vs. re-matched,
+  /// plus verdicts adopted from a per-cell warm start at construction.
   /// Diagnostics only — campaign accumulators and checkpoints ignore them.
   long match_reused = 0;
   long match_recomputed = 0;
+  long match_warm_reused = 0;
 };
 
 struct RunResult {
   bool terminated = false;
-  bool explored_all = false;
+  bool explored_all = false;  ///< every reachable (non-wall) node visited
   RunStats stats;
-  std::vector<bool> visited;  ///< per grid node index
+  std::vector<bool> visited;  ///< per bounding-box node index
   std::string failure;        ///< nonempty on budget exhaustion / violations
   Trace trace;
 
@@ -54,11 +65,11 @@ struct RunResult {
 };
 
 /// Runs under FSYNC/SSYNC semantics (full atomic cycles per instant).
-RunResult run_sync(const Algorithm& alg, const Grid& grid, SyncScheduler& sched,
+RunResult run_sync(const Algorithm& alg, const Topology& topo, SyncScheduler& sched,
                    const RunOptions& opts = {});
 
 /// Runs under ASYNC semantics (interleaved Look/Compute/Move events).
-RunResult run_async(const Algorithm& alg, const Grid& grid, AsyncScheduler& sched,
+RunResult run_async(const Algorithm& alg, const Topology& topo, AsyncScheduler& sched,
                     const RunOptions& opts = {});
 
 /// Final configuration of a recorded trace (requires record_trace).

@@ -20,11 +20,13 @@ void apply_sync_step(Configuration& config, std::span<const RobotAction> actions
     const Robot& r = config.robot(ra.robot);
     Update u{ra.robot, ra.action.new_color, r.pos, false, r.pos};
     if (ra.action.move.has_value()) {
+      // Topology-mediated step: on wrapped axes the seam edge is a real
+      // edge, on bounded ones stepping out (or into a wall) is the error
+      // the guards are supposed to prevent.
+      const std::optional<Vec> to = config.topology().step(r.pos, *ra.action.move);
+      if (!to) throw std::logic_error("apply_sync_step: robot would leave the grid");
       u.moved = true;
-      u.to = r.pos + dir_vec(*ra.action.move);
-      if (!config.grid().contains(u.to)) {
-        throw std::logic_error("apply_sync_step: robot would leave the grid");
-      }
+      u.to = *to;
     }
     updates.push_back(u);
   }

@@ -22,7 +22,11 @@ std::string render(const Configuration& config) {
         const Color col = static_cast<Color>(i);
         cell.append(static_cast<std::size_t>(ms.count(col)), color_letter(col));
       }
-      if (cell.empty()) cell.push_back('.');  // gcc-12 flags `= "."` (-Wrestrict, PR105329)
+      if (cell.empty()) {
+        // '.' = empty node, '#' = wall cell of the bounding box (holed /
+        // obstacle topologies; plain grids have none).
+        cell.push_back(grid.contains({r, c}) ? '.' : '#');
+      }
       cell.resize(static_cast<std::size_t>(width), ' ');
       out += cell;
       if (c + 1 < grid.cols()) out += ' ';
@@ -58,7 +62,9 @@ std::string render_visit_order(const Trace& trace) {
   std::string out;
   for (int r = 0; r < grid.rows(); ++r) {
     for (int c = 0; c < grid.cols(); ++c) {
-      std::string cell = std::to_string(first[static_cast<std::size_t>(grid.index({r, c}))]);
+      std::string cell = grid.contains({r, c})
+                             ? std::to_string(first[static_cast<std::size_t>(grid.index({r, c}))])
+                             : std::string("#");
       while (static_cast<int>(cell.size()) < width) cell.insert(cell.begin(), ' ');
       out += cell;
       if (c + 1 < grid.cols()) out += ' ';

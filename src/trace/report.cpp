@@ -30,7 +30,8 @@ void csv_percentile_columns(std::ostringstream& out, const LongStat& stat) {
 void json_stat(std::ostringstream& out, const char* name, const LongStat& stat,
                const char* indent) {
   out << indent << "\"" << name << "\": {\"mean\": " << fmt_double(stat.mean())
-      << ", \"min\": " << stat.min << ", \"max\": " << stat.max << ", \"sum\": " << stat.sum
+      << ", \"ci95\": " << fmt_double(stat.mean_ci95_halfwidth()) << ", \"min\": " << stat.min
+      << ", \"max\": " << stat.max << ", \"sum\": " << stat.sum
       << ", \"p50\": " << stat.percentile(0.50) << ", \"p90\": " << stat.percentile(0.90)
       << ", \"p99\": " << stat.percentile(0.99) << "}";
 }
@@ -100,7 +101,7 @@ std::string csv_field(const std::string& s) {
 
 std::string campaign_csv(const campaign::CampaignSummary& summary) {
   std::ostringstream out;
-  out << "section,rows,cols,sched,runs,terminated,explored_all,failures,"
+  out << "section,rows,cols,topo,sched,runs,terminated,explored_all,failures,"
          "termination_rate,exploration_rate,"
          "instants_mean,instants_min,instants_max,"
          "activations_mean,activations_min,activations_max,"
@@ -108,13 +109,14 @@ std::string campaign_csv(const campaign::CampaignSummary& summary) {
          "color_changes_mean,color_changes_min,color_changes_max,"
          "visited_mean,visited_min,visited_max,"
          "instants_p50,instants_p90,instants_p99,"
-         "moves_p50,moves_p90,moves_p99\n";
+         "moves_p50,moves_p90,moves_p99,"
+         "instants_ci95,moves_ci95\n";
   for (const CellSummary& cell : summary.cells) {
     const CellAccumulator& a = cell.acc;
     out << csv_field(cell.cell.section) << ',' << cell.cell.rows << ',' << cell.cell.cols << ','
-        << csv_field(to_string(cell.cell.sched)) << ',' << a.runs << ',' << a.terminated << ','
-        << a.explored_all << ',' << a.failures << ',' << fmt_double(a.termination_rate()) << ','
-        << fmt_double(a.exploration_rate());
+        << csv_field(cell.cell.topo) << ',' << csv_field(to_string(cell.cell.sched)) << ','
+        << a.runs << ',' << a.terminated << ',' << a.explored_all << ',' << a.failures << ','
+        << fmt_double(a.termination_rate()) << ',' << fmt_double(a.exploration_rate());
     csv_stat_columns(out, a.instants);
     csv_stat_columns(out, a.activations);
     csv_stat_columns(out, a.moves);
@@ -122,6 +124,8 @@ std::string campaign_csv(const campaign::CampaignSummary& summary) {
     csv_stat_columns(out, a.visited);
     csv_percentile_columns(out, a.instants);
     csv_percentile_columns(out, a.moves);
+    out << ',' << fmt_double(a.instants.mean_ci95_halfwidth()) << ','
+        << fmt_double(a.moves.mean_ci95_halfwidth());
     out << '\n';
   }
   return out.str();
@@ -142,6 +146,7 @@ std::string campaign_json(const campaign::CampaignSummary& summary) {
     out << "      \"section\": \"" << json_escape(cell.cell.section) << "\",\n";
     out << "      \"rows\": " << cell.cell.rows << ",\n";
     out << "      \"cols\": " << cell.cell.cols << ",\n";
+    out << "      \"topo\": \"" << json_escape(cell.cell.topo) << "\",\n";
     out << "      \"sched\": \"" << json_escape(to_string(cell.cell.sched)) << "\",\n";
     out << "      \"summary\": ";
     json_accumulator(out, cell.acc, "      ");

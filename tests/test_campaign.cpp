@@ -363,7 +363,7 @@ TEST(Report, CsvHasHeaderAndOneRowPerCell) {
   std::size_t lines = 0;
   for (char c : csv) lines += c == '\n' ? 1 : 0;
   EXPECT_EQ(lines, s.cells.size() + 1);
-  EXPECT_NE(csv.find("section,rows,cols,sched"), std::string::npos);
+  EXPECT_NE(csv.find("section,rows,cols,topo,sched"), std::string::npos);
   EXPECT_NE(csv.find("4.3.1"), std::string::npos);
 }
 

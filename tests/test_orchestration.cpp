@@ -98,7 +98,7 @@ TEST(Checkpoint, MalformedInputsThrow) {
   EXPECT_THROW(checkpoint_parse("not a checkpoint\n"), std::runtime_error);
   EXPECT_THROW(checkpoint_parse(good.substr(0, good.size() / 2)), std::runtime_error);
   std::string wrong_version = good;
-  wrong_version.replace(wrong_version.find(" v1"), 3, " v9");
+  wrong_version.replace(wrong_version.find(" v2"), 3, " v9");
   EXPECT_THROW(checkpoint_parse(wrong_version), std::runtime_error);
 }
 

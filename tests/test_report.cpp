@@ -73,7 +73,7 @@ TEST(Report, ZeroRunCellRendersFiniteZeros) {
   summary.cells.push_back(cell);
 
   const std::string csv = campaign_csv(summary);
-  EXPECT_NE(csv.find("4.2.1,2,3,fsync,0,0,0,0,0,0,0,0,0"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("4.2.1,2,3,grid,fsync,0,0,0,0,0,0,0,0,0"), std::string::npos) << csv;
   const std::string json = campaign_json(summary);
   EXPECT_NE(json.find("\"termination_rate\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"mean\": 0"), std::string::npos);
@@ -105,8 +105,9 @@ TEST(Report, SingleRunCellRendersExactValuesWithoutNaN) {
   EXPECT_DOUBLE_EQ(cell.acc.instants.variance(), 0.0);
   const std::string csv = campaign_csv(summary);
   const std::string json = campaign_json(summary);
-  // p50/p90/p99 of a single sample are the sample, in both writers.
-  EXPECT_NE(csv.find(",1000000,1000000,1000000,37,37,37\n"), std::string::npos) << csv;
+  // p50/p90/p99 of a single sample are the sample, in both writers, and the
+  // trailing 95% CI half-widths are exactly zero for n = 1.
+  EXPECT_NE(csv.find(",1000000,1000000,1000000,37,37,37,0,0\n"), std::string::npos) << csv;
   EXPECT_NE(json.find("\"p50\": 1000000, \"p90\": 1000000, \"p99\": 1000000"),
             std::string::npos)
       << json;

@@ -50,7 +50,33 @@ TEST(LongStatEdgeCases, EmptyStreamIsAllZeroes) {
   EXPECT_EQ(s.count, 0);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_ci95_halfwidth(), 0.0);
   for (double q : {0.0, 0.5, 0.99, 1.0}) EXPECT_EQ(s.percentile(q), 0);
+}
+
+TEST(LongStatCi95, MatchesHandComputedIntervalAndIsExactMergeable) {
+  // Samples {10, 14}: mean 12, unbiased sample variance 8, half-width
+  // 1.96 * sqrt(8 / 2) = 3.92.
+  campaign::LongStat s;
+  s.add(10);
+  s.add(14);
+  EXPECT_NEAR(s.mean_ci95_halfwidth(), 3.92, 1e-12);
+  // n <= 1 estimates no spread.
+  campaign::LongStat one;
+  one.add(10);
+  EXPECT_DOUBLE_EQ(one.mean_ci95_halfwidth(), 0.0);
+  // Merged shards answer with the identical interval: the half-width is a
+  // pure function of the exact merged (count, sum, sum_squares).
+  campaign::LongStat a, b;
+  a.add(10);
+  b.add(14);
+  a.merge(b);
+  EXPECT_EQ(a, s);
+  EXPECT_DOUBLE_EQ(a.mean_ci95_halfwidth(), s.mean_ci95_halfwidth());
+  // Constant streams have a zero-width interval, not rounding noise.
+  campaign::LongStat flat;
+  for (int i = 0; i < 5; ++i) flat.add(123456789L);
+  EXPECT_DOUBLE_EQ(flat.mean_ci95_halfwidth(), 0.0);
 }
 
 TEST(LongStatEdgeCases, SingleSampleHasZeroVarianceAndExactPercentiles) {
