@@ -71,6 +71,32 @@ double measure_ns_per_match(const std::vector<Workload>& workloads, long iterati
   return elapsed * 1e9 / static_cast<double>(matches);
 }
 
+/// ns per whole guard-plane group sweep (every self-color lane block of
+/// every workload snapshot) through `mask_fn` — the prefilter's share of a
+/// match, isolated from the dense row walks it guards.
+template <typename MaskFn>
+double measure_ns_per_guard_sweep(const std::vector<Workload>& workloads, long iterations,
+                                  MaskFn&& mask_fn) {
+  long sweeps = 0;
+  long sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (long it = 0; it < iterations; ++it) {
+    for (const Workload& w : workloads) {
+      for (const Snapshot& snap : w.snapshots) {
+        const SnapshotPlanes planes = snapshot_planes(snap, w.compiled->kernel_size());
+        const GuardGroup& group = w.compiled->guard_group(snap.self_color);
+        for (std::size_t base = 0; base < group.lanes; base += kGuardLaneBlock) {
+          sink += static_cast<long>(mask_fn(group, planes, base));
+        }
+        sweeps += 1;
+      }
+    }
+  }
+  const double elapsed = seconds_since(start);
+  if (sink < 0) std::printf("impossible\n");
+  return elapsed * 1e9 / static_cast<double>(sweeps);
+}
+
 /// Single-threaded sweep of every expansion job; returns jobs/s plus the
 /// summed dirty-tracker counters (zero when `incremental` is off).  With
 /// `warm_start`, each cell shares one WarmStartSlot across its seeds (the
@@ -136,6 +162,15 @@ int main(int argc, char** argv) {
       });
   const double speedup = naive_ns / compiled_ns;
 
+  // Guard-plane prefilter: scalar reference vs the build/CPU-selected kernel
+  // (AVX2 when compiled in and supported; otherwise the two coincide).
+  const long guard_iterations = iterations * 8;
+  const double guard_scalar_ns =
+      measure_ns_per_guard_sweep(workloads, guard_iterations, guard_pass_mask_scalar);
+  const double guard_dispatch_ns =
+      measure_ns_per_guard_sweep(workloads, guard_iterations, guard_pass_mask);
+  const bool guard_simd = guard_simd_available();
+
   // Snapshot cost (phi = 2 dominates real campaigns).
   const Workload& snap_load = workloads.front();
   long snap_sink = 0;
@@ -196,6 +231,8 @@ int main(int argc, char** argv) {
   std::printf("  naive:         %8.1f ns/match\n", naive_ns);
   std::printf("  compiled:      %8.1f ns/match  (%.2fx)\n", compiled_ns, speedup);
   std::printf("  first_enabled: %8.1f ns/match\n", first_enabled_ns);
+  std::printf("  guard sweep:   %8.1f ns scalar, %8.1f ns dispatched (simd %s)\n",
+              guard_scalar_ns, guard_dispatch_ns, guard_simd ? "on" : "off");
   std::printf("  snapshot:      %8.1f ns (phi=2)\n", snapshot_ns);
   std::printf("  campaign:      %8.1f jobs/s (%zu jobs, %u threads)\n", jobs_per_sec,
               summary.jobs, summary.threads);
@@ -206,13 +243,16 @@ int main(int argc, char** argv) {
               "%ld verdicts warm-reused)\n",
               warm.jobs_per_sec, warm_speedup, warm.warm_reused);
 
-  char json[1536];
+  char json[2048];
   std::snprintf(json, sizeof(json),
                 "{\n"
                 "  \"naive_ns_per_match\": %.1f,\n"
                 "  \"compiled_ns_per_match\": %.1f,\n"
                 "  \"first_enabled_ns_per_match\": %.1f,\n"
                 "  \"speedup\": %.2f,\n"
+                "  \"guard_scalar_ns_per_sweep\": %.1f,\n"
+                "  \"guard_dispatch_ns_per_sweep\": %.1f,\n"
+                "  \"guard_simd_active\": %s,\n"
                 "  \"snapshot_ns\": %.1f,\n"
                 "  \"campaign_jobs\": %zu,\n"
                 "  \"campaign_threads\": %u,\n"
@@ -227,7 +267,8 @@ int main(int argc, char** argv) {
                 "  \"warm_speedup_over_incremental\": %.3f,\n"
                 "  \"warm_verdicts_reused\": %ld\n"
                 "}\n",
-                naive_ns, compiled_ns, first_enabled_ns, speedup, snapshot_ns, summary.jobs,
+                naive_ns, compiled_ns, first_enabled_ns, speedup, guard_scalar_ns,
+                guard_dispatch_ns, guard_simd ? "true" : "false", snapshot_ns, summary.jobs,
                 summary.threads, jobs_per_sec, recompute.jobs_per_sec,
                 incremental.jobs_per_sec, incremental_speedup, incremental.reused,
                 incremental.recomputed, reuse_fraction, warm.jobs_per_sec, warm_speedup,

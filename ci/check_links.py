@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Checks intra-repo Markdown links (and their #anchors) in the doc tree.
+
+Scans README.md, PAPER.md and docs/*.md for inline links `[text](target)`.
+External links (a URL scheme) are ignored; everything else must resolve to
+an existing file or directory relative to the containing document, and a
+`#fragment` on a Markdown target must name a heading in that document using
+GitHub's anchor rules (lowercase, punctuation stripped, spaces to dashes).
+
+Exit status 0 when every link resolves, 1 otherwise (each failure printed).
+Stdlib only; run from anywhere: paths are anchored at the repo root.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_GLOBS = ["README.md", "PAPER.md", "ISSUE.md", "docs/*.md"]
+
+# Inline links, skipping images; [text](target "title") keeps only target.
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def anchors(path: Path) -> set[str]:
+    """GitHub-style anchors of every heading in a Markdown file."""
+    out: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if not m:
+            continue
+        text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", m.group(1))  # unlink
+        text = re.sub(r"[`*_]", "", text).strip().lower()
+        slug = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+        slug = slug.replace(" ", "-")
+        base, n = slug, 1
+        while slug in out:  # duplicate headings get -1, -2, ... suffixes
+            slug = f"{base}-{n}"
+            n += 1
+        out.add(slug)
+    return out
+
+
+def check(doc: Path) -> list[str]:
+    errors: list[str] = []
+    text = doc.read_text(encoding="utf-8")
+    for m in LINK.finditer(text):
+        target = m.group(1)
+        if SCHEME.match(target):  # external: not ours to verify offline
+            continue
+        raw, _, fragment = target.partition("#")
+        dest = doc if raw == "" else (doc.parent / raw).resolve()
+        line = text.count("\n", 0, m.start()) + 1
+        where = f"{doc.relative_to(REPO)}:{line}"
+        if not dest.exists():
+            errors.append(f"{where}: broken link '{target}' (no {raw})")
+            continue
+        if fragment:
+            if dest.is_dir() or dest.suffix.lower() != ".md":
+                errors.append(f"{where}: fragment on non-Markdown target '{target}'")
+            elif fragment.lower() not in anchors(dest):
+                errors.append(f"{where}: no heading for anchor '#{fragment}' in {raw or doc.name}")
+    return errors
+
+
+def main() -> int:
+    docs = sorted({p for g in DOC_GLOBS for p in REPO.glob(g) if p.is_file()})
+    if not docs:
+        print("check_links: no documents found", file=sys.stderr)
+        return 1
+    failures: list[str] = []
+    checked = 0
+    for doc in docs:
+        failures += check(doc)
+        checked += 1
+    for f in failures:
+        print(f, file=sys.stderr)
+    print(f"check_links: {checked} documents, {len(failures)} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

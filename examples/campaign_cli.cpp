@@ -35,6 +35,7 @@ struct Args {
   campaign::IntRange cols{4, 10, 2};
   int seeds = 2;
   unsigned threads = 0;
+  std::size_t batch = 0;  ///< jobs per worker task: 0 = auto, 1 = per-job
   long max_steps = 1'000'000;
   std::string csv_path;
   std::string json_path;
@@ -99,6 +100,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       if (args.seeds < 1) return false;
     } else if (const char* v = value("--threads=")) {
       args.threads = static_cast<unsigned>(std::atoi(v));
+    } else if (const char* v = value("--batch=")) {
+      // 0 = automatic per-cell sizing; 1 = the per-job reference path.
+      // Reports are byte-identical at any value — this is a perf knob only.
+      const long b = std::atol(v);
+      if (b < 0) return false;
+      args.batch = static_cast<std::size_t>(b);
     } else if (const char* v = value("--max-steps=")) {
       args.max_steps = std::atol(v);
       if (args.max_steps < 1) return false;
@@ -192,7 +199,7 @@ int main(int argc, char** argv) {
                  "          [--topologies=grid,ring,torus,holes[:HxW[@RxC]],obstacles:P:S]\n"
                  "          [--scheds=all|fsync,ssync-random,ssync-rr,async-random,"
                  "async-central,async-stress]\n"
-                 "          [--seeds=N] [--threads=N] [--max-steps=N]\n"
+                 "          [--seeds=N] [--threads=N] [--batch=N] [--max-steps=N]\n"
                  "          [--csv=PATH] [--json=PATH] [--quiet]\n"
                  "          [--shard=I/N] [--checkpoint=PATH] [--flush-interval=SEC]\n"
                  "          [--max-jobs=N] [--adaptive] [--adaptive-max-extra=N]\n"
@@ -231,6 +238,7 @@ int main(int argc, char** argv) {
     opts.checkpoint_path = args.checkpoint_path;
     opts.flush_seconds = args.flush_interval;
     opts.max_jobs = args.max_jobs;
+    opts.batch = args.batch;
     opts.adaptive = args.adaptive;
     campaign::OrchestratorReport report;
     try {
@@ -247,7 +255,7 @@ int main(int argc, char** argv) {
     summary = std::move(report.summary);
     complete = report.complete;
   } else {
-    summary = campaign::run_campaign(expansion, args.threads);
+    summary = campaign::run_campaign(expansion, args.threads, args.batch);
   }
 
   if (!args.quiet) {

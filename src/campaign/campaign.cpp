@@ -1,10 +1,13 @@
 #include "src/campaign/campaign.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <exception>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "src/algorithms/registry.hpp"
 #include "src/campaign/thread_pool.hpp"
@@ -179,13 +182,15 @@ Expansion expand(const Matrix& matrix) {
   return out;
 }
 
-RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options,
-                   WarmStartSlot* warm) {
-  const Algorithm alg = algorithms::entry(cell.section).make();
-  const Topology topo = make_topology(cell.topo, cell.rows, cell.cols);
-  RunOptions opts = options;
-  opts.warm_start = warm;
-  switch (cell.sched) {
+namespace {
+
+/// The per-item tail of a job once the expensive setup — registry make(),
+/// topology parse, compile-cache lookup — has been done (per job in
+/// run_cell, once per batch in run_cell_batch).  Scheduler construction is
+/// trivial and stays per item so every seed gets a fresh one.
+RunResult run_prepared(const Algorithm& alg, const Topology& topo, SchedKind kind, unsigned seed,
+                       const RunOptions& opts) {
+  switch (kind) {
     case SchedKind::Fsync: {
       FsyncScheduler s(seed);
       return run_sync(alg, topo, s, opts);
@@ -211,7 +216,24 @@ RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options,
       return run_async(alg, topo, s, opts);
     }
   }
-  throw std::invalid_argument("run_cell: bad SchedKind");
+  throw std::invalid_argument("run_prepared: bad SchedKind");
+}
+
+RunResult failure_result(const std::exception& e) {
+  RunResult r;
+  r.failure = std::string("exception: ") + e.what();
+  return r;
+}
+
+}  // namespace
+
+RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options,
+                   WarmStartSlot* warm) {
+  const Algorithm alg = algorithms::entry(cell.section).make();
+  const Topology topo = make_topology(cell.topo, cell.rows, cell.cols);
+  RunOptions opts = options;
+  opts.warm_start = warm;
+  return run_prepared(alg, topo, cell.sched, seed, opts);
 }
 
 RunResult run_cell_guarded(const Cell& cell, unsigned seed, const RunOptions& options,
@@ -219,13 +241,66 @@ RunResult run_cell_guarded(const Cell& cell, unsigned seed, const RunOptions& op
   try {
     return run_cell(cell, seed, options, warm);
   } catch (const std::exception& e) {
-    RunResult r;
-    r.failure = std::string("exception: ") + e.what();
-    return r;
+    return failure_result(e);
   }
 }
 
-CampaignSummary run_campaign(const Expansion& expansion, unsigned threads) {
+std::size_t auto_batch_size(const Cell& cell) {
+  // ~1024 bounding-box nodes of sync work per task: a 4x4 grid batches 64
+  // micro-runs, 16x16 batches 4, 32x32 runs singly.  Async runs take ~3-4
+  // events per cycle at equal area, so they batch a quarter as deep.
+  const long area = static_cast<long>(cell.rows) * static_cast<long>(cell.cols);
+  const long weight = sched_synchrony(cell.sched) == Synchrony::Async ? 4 : 1;
+  const long batch = 1024 / std::max<long>(1, area * weight);
+  return static_cast<std::size_t>(std::clamp<long>(batch, 1, 64));
+}
+
+void run_cell_batch(const Cell& cell, std::span<const unsigned> seeds,
+                    const RunOptions& options, WarmStartSlot* warm, Arena* arena,
+                    const std::function<void(std::size_t, const RunResult&)>& sink) {
+  std::optional<Algorithm> alg;
+  std::optional<Topology> topo;
+  std::optional<Configuration> initial;
+  RunOptions opts = options;
+  opts.warm_start = warm;
+  try {
+    alg.emplace(algorithms::entry(cell.section).make());
+    topo.emplace(make_topology(cell.topo, cell.rows, cell.cols));
+    opts.precompiled = CompiledAlgorithm::get(*alg);
+    // Validation, placement canonicalization and the occupancy build happen
+    // once here; each item starts from an arena-backed copy.
+    initial.emplace(alg->initial_configuration(*topo));
+    opts.initial = &*initial;
+  } catch (const std::exception& e) {
+    const RunResult r = failure_result(e);
+    for (std::size_t i = 0; i < seeds.size(); ++i) sink(i, r);
+    return;
+  }
+  // After the first item has published the cell's warm start, hold one
+  // reference for the whole batch and hand items the raw pointer: the
+  // slot's mutex and shared_ptr traffic drop out of the per-item loop.
+  std::shared_ptr<const TrackerWarmStart> adopted;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    if (arena != nullptr) {
+      // Everything the previous item bump-allocated is dead (its result was
+      // consumed by sink, and results never point into the arena), so the
+      // chunks rewind and this item reuses the warm memory.
+      arena->reset();
+      opts.arena = arena;
+    }
+    if (warm != nullptr && adopted == nullptr) {
+      adopted = warm->get();
+      opts.warm_adopt = adopted.get();
+    }
+    try {
+      sink(i, run_prepared(*alg, *topo, cell.sched, seeds[i], opts));
+    } catch (const std::exception& e) {
+      sink(i, failure_result(e));
+    }
+  }
+}
+
+CampaignSummary run_campaign(const Expansion& expansion, unsigned threads, std::size_t batch) {
   const auto start = std::chrono::steady_clock::now();
   ThreadPool pool(threads);
 
@@ -234,15 +309,35 @@ CampaignSummary run_campaign(const Expansion& expansion, unsigned threads) {
   // any worker count.
   std::vector<CampaignAccumulator> per_worker(pool.size(),
                                               CampaignAccumulator(expansion.cells.size()));
+  // One run-scratch arena per worker: each batch item's configuration and
+  // tracker tables are pointer bumps into it, rewound between items.
+  std::vector<std::unique_ptr<Arena>> arenas;
+  arenas.reserve(pool.size());
+  for (unsigned w = 0; w < pool.size(); ++w) arenas.push_back(std::make_unique<Arena>());
   // One warm-start slot per cell: the first job of a cell publishes its
   // initial verdict table, the cell's other seeds skip the initial full
   // compute (pure perf — summaries are identical either way).
   std::vector<WarmStartSlot> warm(expansion.cells.size());
-  for (const Job& job : expansion.jobs) {
-    pool.submit([&expansion, &per_worker, &pool, &warm, job] {
-      const RunResult result = run_cell_guarded(expansion.cells[job.cell], job.seed,
-                                               expansion.options, &warm[job.cell]);
-      per_worker[static_cast<std::size_t>(pool.worker_index())].add(job.cell, result);
+  // Consecutive same-cell jobs are grouped into one pool task of at most
+  // `batch` items (0 = per-cell automatic) so tiny runs amortize their
+  // setup; the accumulator adds are exact commutative integer updates, so
+  // the summary is byte-identical at any grouping.
+  std::size_t i = 0;
+  while (i < expansion.jobs.size()) {
+    const std::size_t cell = expansion.jobs[i].cell;
+    const std::size_t cap = batch != 0 ? batch : auto_batch_size(expansion.cells[cell]);
+    std::vector<unsigned> seeds;
+    while (i < expansion.jobs.size() && expansion.jobs[i].cell == cell && seeds.size() < cap) {
+      seeds.push_back(expansion.jobs[i].seed);
+      ++i;
+    }
+    pool.submit([&expansion, &per_worker, &pool, &warm, &arenas, cell,
+                 seeds = std::move(seeds)] {
+      const std::size_t w = static_cast<std::size_t>(pool.worker_index());
+      run_cell_batch(expansion.cells[cell], seeds, expansion.options, &warm[cell],
+                     arenas[w].get(), [&per_worker, w, cell](std::size_t, const RunResult& r) {
+                       per_worker[w].add(cell, r);
+                     });
     });
   }
   pool.wait_idle();
@@ -263,8 +358,8 @@ CampaignSummary run_campaign(const Expansion& expansion, unsigned threads) {
   return summary;
 }
 
-CampaignSummary run_campaign(const Matrix& matrix, unsigned threads) {
-  return run_campaign(expand(matrix), threads);
+CampaignSummary run_campaign(const Matrix& matrix, unsigned threads, std::size_t batch) {
+  return run_campaign(expand(matrix), threads, batch);
 }
 
 std::vector<std::string> paper_sections() {

@@ -8,11 +8,14 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/campaign/aggregate.hpp"
+#include "src/core/arena.hpp"
 #include "src/engine/runner.hpp"
 
 namespace lumi::campaign {
@@ -129,6 +132,30 @@ RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options,
 RunResult run_cell_guarded(const Cell& cell, unsigned seed, const RunOptions& options,
                            WarmStartSlot* warm = nullptr);
 
+/// How many same-cell jobs one pool task should execute back-to-back when
+/// the batch size is left automatic: sized so per-task work stays roughly
+/// constant — tiny worlds (where per-job setup of algorithm construction,
+/// topology parsing and compile-cache lookup rivals the simulation) get
+/// large batches, big worlds run singly.  Async schedulers spend ~3 events
+/// per robot cycle, so their runs weigh more at equal area.  Derived from
+/// the cell's bounding box only (walled topologies just finish early), so
+/// the grouping — unlike the results, which are identical at any batch
+/// size — is cheap and deterministic.
+std::size_t auto_batch_size(const Cell& cell);
+
+/// Executes `seeds.size()` jobs of `cell` as one unit: per-job setup is
+/// hoisted out of the item loop (the algorithm is built, the topology
+/// parsed, and the matcher compilation resolved once per batch), and each
+/// item's run-local tables live on `arena` (reset between items; null =
+/// heap).  `sink(item, result)` is invoked in seed order before the next
+/// item's reset; results never point into the arena.  Each item is guarded
+/// like run_cell_guarded; a failure of the hoisted setup itself is reported
+/// on every item.  Summaries are byte-identical to running the seeds
+/// through run_cell one by one.
+void run_cell_batch(const Cell& cell, std::span<const unsigned> seeds,
+                    const RunOptions& options, WarmStartSlot* warm, Arena* arena,
+                    const std::function<void(std::size_t, const RunResult&)>& sink);
+
 struct CellSummary {
   Cell cell;
   CellAccumulator acc;
@@ -144,8 +171,13 @@ struct CampaignSummary {
 
 /// Runs every job of the expansion on `threads` workers (0 = all hardware
 /// threads).  Exceptions escaping a job are recorded as that run's failure.
-CampaignSummary run_campaign(const Expansion& expansion, unsigned threads = 0);
-CampaignSummary run_campaign(const Matrix& matrix, unsigned threads = 0);
+/// `batch` is the number of consecutive same-cell jobs one worker task
+/// executes (0 = automatic per cell via auto_batch_size, 1 = the per-job
+/// reference path).  Summaries are byte-identical for any batch size and
+/// any worker count (tests/test_batching.cpp pins this).
+CampaignSummary run_campaign(const Expansion& expansion, unsigned threads = 0,
+                             std::size_t batch = 0);
+CampaignSummary run_campaign(const Matrix& matrix, unsigned threads = 0, std::size_t batch = 0);
 
 /// Sections of the eleven directly implemented paper algorithms (Algorithms
 /// 1-11), in Table-1 order.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -165,32 +166,61 @@ OrchestratorReport run_orchestrated(const Expansion& expansion,
     // and sharded legs merge byte-identically regardless of which run warmed
     // which cell.
     std::vector<WarmStartSlot> warm(expansion.cells.size());
+    // One run-scratch arena per worker, rewound between batch items.
+    std::vector<std::unique_ptr<Arena>> arenas;
+    arenas.reserve(pool.size());
+    for (unsigned w = 0; w < pool.size(); ++w) arenas.push_back(std::make_unique<Arena>());
 
     // Submits every job not already covered by the checkpoint, honoring the
-    // per-invocation cap.  Returns false once the cap cut submission short.
+    // per-invocation cap.  Consecutive same-cell jobs are grouped into one
+    // pool task of at most `options.batch` items (0 = automatic); each item
+    // is still recorded in the checkpoint individually, so the cap, the
+    // flusher and kill/resume see single jobs exactly as before.  Returns
+    // false once the cap cut submission short.
     const auto run_jobs = [&](const std::vector<Job>& jobs, bool base_pass) {
-      for (const Job& job : jobs) {
-        {
-          std::lock_guard lock(state_mu);
-          if (seed_done(ck.cells[job.cell], job.seed)) {
-            if (base_pass) ++report.jobs_skipped;
-            continue;
+      bool capped = false;
+      std::size_t i = 0;
+      while (i < jobs.size() && !capped) {
+        const std::size_t cell_index = jobs[i].cell;
+        const std::size_t cap = options.batch != 0
+                                    ? options.batch
+                                    : auto_batch_size(expansion.cells[cell_index]);
+        std::vector<unsigned> seeds;
+        while (i < jobs.size() && jobs[i].cell == cell_index && seeds.size() < cap) {
+          const Job job = jobs[i];
+          {
+            std::lock_guard lock(state_mu);
+            if (seed_done(ck.cells[job.cell], job.seed)) {
+              if (base_pass) ++report.jobs_skipped;
+              ++i;
+              continue;
+            }
           }
+          if (options.max_jobs != 0 && report.jobs_executed >= options.max_jobs) {
+            capped = true;
+            break;
+          }
+          ++report.jobs_executed;
+          if (!base_pass) ++report.escalation_jobs;
+          seeds.push_back(job.seed);
+          ++i;
         }
-        if (options.max_jobs != 0 && report.jobs_executed >= options.max_jobs) return false;
-        ++report.jobs_executed;
-        if (!base_pass) ++report.escalation_jobs;
-        pool.submit([&expansion, &ck, &state_mu, &version, &warm, job] {
-          const RunResult result = run_cell_guarded(expansion.cells[job.cell], job.seed,
-                                                    expansion.options, &warm[job.cell]);
-          std::lock_guard lock(state_mu);
-          CheckpointCell& cell = ck.cells[job.cell];
-          cell.acc.add(result);
-          record_seed(cell, job.seed);
-          ++version;
+        if (seeds.empty()) continue;
+        pool.submit([&expansion, &ck, &state_mu, &version, &warm, &arenas, &pool, cell_index,
+                     seeds = std::move(seeds)] {
+          const std::size_t w = static_cast<std::size_t>(pool.worker_index());
+          run_cell_batch(expansion.cells[cell_index], seeds, expansion.options,
+                         &warm[cell_index], arenas[w].get(),
+                         [&](std::size_t item, const RunResult& result) {
+                           std::lock_guard lock(state_mu);
+                           CheckpointCell& cell = ck.cells[cell_index];
+                           cell.acc.add(result);
+                           record_seed(cell, seeds[item]);
+                           ++version;
+                         });
         });
       }
-      return true;
+      return !capped;
     };
 
     report.complete = run_jobs(expansion.jobs, /*base_pass=*/true);

@@ -38,6 +38,10 @@ struct OrchestratorOptions {
   std::string checkpoint_path;     ///< empty: no persistence (in-memory only)
   double flush_seconds = 5.0;      ///< periodic checkpoint flush interval
   std::size_t max_jobs = 0;        ///< stop after N new jobs this invocation (0 = no cap)
+  /// Same-cell jobs per worker task (0 = automatic per cell, 1 = per-job).
+  /// Checkpoints record per job, so kill/resume and max_jobs semantics are
+  /// unchanged at any batch size, and reports are byte-identical.
+  std::size_t batch = 0;
   AdaptivePolicy adaptive;
 };
 

@@ -1,0 +1,69 @@
+#include "src/core/arena.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <new>
+
+namespace lumi {
+
+namespace {
+
+std::size_t align_up(std::size_t v, std::size_t alignment) {
+  return (v + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t chunk_bytes) : chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {}
+
+void Arena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  active_ = 0;
+  bytes_in_use_ = 0;
+}
+
+void Arena::release() {
+  chunks_.clear();
+  active_ = 0;
+  bytes_in_use_ = 0;
+}
+
+void* Arena::do_allocate(std::size_t bytes, std::size_t alignment) {
+  if (alignment > alignof(std::max_align_t) || (alignment & (alignment - 1)) != 0) {
+    // Over-aligned requests are not worth special casing in a bump pointer;
+    // pmr containers never issue them for ordinary element types.
+    throw std::bad_alloc();
+  }
+  // First fit over the chunks that may still have room.  `active_` only
+  // advances when a chunk cannot even satisfy a fresh chunk-sized request,
+  // so the scan stays O(1) amortized.
+  for (std::size_t i = active_; i < chunks_.size(); ++i) {
+    Chunk& c = chunks_[i];
+    const std::size_t at = align_up(c.used, alignment);
+    if (at + bytes <= c.size) {
+      c.used = at + bytes;
+      bytes_in_use_ += bytes;
+      if (bytes_in_use_ > high_water_) high_water_ = bytes_in_use_;
+      return c.data.get() + at;
+    }
+    if (i == active_ && c.size - c.used < alignof(std::max_align_t)) ++active_;
+  }
+  Chunk fresh;
+  fresh.size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+  fresh.data = std::make_unique<std::byte[]>(fresh.size);
+  fresh.used = bytes;
+  chunks_.push_back(std::move(fresh));
+  bytes_in_use_ += bytes;
+  if (bytes_in_use_ > high_water_) high_water_ = bytes_in_use_;
+  return chunks_.back().data.get();
+}
+
+void Arena::do_deallocate(void* /*p*/, std::size_t /*bytes*/, std::size_t /*alignment*/) {
+  // Bulk reclamation via reset(); individual frees are no-ops by design.
+}
+
+bool Arena::do_is_equal(const std::pmr::memory_resource& other) const noexcept {
+  return this == &other;
+}
+
+}  // namespace lumi

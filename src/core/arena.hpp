@@ -1,0 +1,71 @@
+// Arena (bump) allocator for per-worker run scratch.
+//
+// A campaign worker executing a batch of micro-runs constructs and destroys
+// the same short-lived tables for every item: the configuration's robot
+// list, occupancy array and change journal, and the dirty tracker's
+// node->robot maps and per-refresh scratch.  At 4x4-grid scale those
+// allocations rival the simulation itself.  The Arena turns them into
+// pointer bumps inside a few retained chunks: the batch runner calls
+// reset() between items, which rewinds every chunk without returning memory
+// to the heap, so steady-state batch execution performs no heap traffic at
+// all for run-local state.
+//
+// The arena is a std::pmr::memory_resource, so any std::pmr container can
+// live on it; deallocate() is a no-op by design (memory is reclaimed in
+// bulk by reset()).  It is single-threaded by contract — each pool worker
+// owns one — matching ROOT-Sim's per-LP slab design rather than a shared
+// locked heap.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <memory_resource>
+#include <vector>
+
+namespace lumi {
+
+class Arena : public std::pmr::memory_resource {
+ public:
+  /// `chunk_bytes` is the granularity of heap requests; oversized
+  /// allocations get a dedicated chunk of exactly their size.
+  explicit Arena(std::size_t chunk_bytes = 64 * 1024);
+  ~Arena() override = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Rewinds every chunk to empty without releasing it: the next item's
+  /// allocations reuse the warm memory.  Anything allocated from the arena
+  /// must be dead by now (pmr containers must have been destroyed).
+  void reset();
+
+  /// Releases every chunk back to the heap (reset to a fresh arena).
+  void release();
+
+  /// Bytes handed out since the last reset().
+  std::size_t bytes_in_use() const { return bytes_in_use_; }
+  /// Largest bytes_in_use() ever observed (across resets) — how much memory
+  /// one batch item actually needs.
+  std::size_t high_water() const { return high_water_; }
+  /// Heap chunks currently retained.
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void* do_allocate(std::size_t bytes, std::size_t alignment) override;
+  void do_deallocate(void* p, std::size_t bytes, std::size_t alignment) override;
+  bool do_is_equal(const std::pmr::memory_resource& other) const noexcept override;
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  ///< chunks_[active_..] may have free space
+  std::size_t bytes_in_use_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace lumi

@@ -111,6 +111,53 @@ CompiledAlgorithm::CompiledAlgorithm(const Algorithm& alg)
     }
     by_color_[static_cast<std::size_t>(rule.self)].push_back(std::move(compiled));
   }
+  // Scatter each group's per-rule planes into the padded SoA lane arrays the
+  // block kernels sweep.  Padding lanes are all-ones sentinels: the kernel
+  // has at most kMaxKernelSize (13) cells, so need bits 13..15 can never be
+  // met and a sentinel lane always rejects.
+  for (std::size_t color = 0; color < kMaxColors; ++color) {
+    const std::vector<CompiledRule>& rules = by_color_[color];
+    GuardGroup& group = groups_[color];
+    group.lanes = rules.size() * syms_.size();
+    const std::size_t padded =
+        (group.lanes + kGuardLaneBlock - 1) / kGuardLaneBlock * kGuardLaneBlock;
+    group.need_occupied.assign(padded, 0xFFFF);
+    group.forbid_occupied.assign(padded, 0xFFFF);
+    group.need_wall.assign(padded, 0xFFFF);
+    group.forbid_wall.assign(padded, 0xFFFF);
+    for (std::size_t ri = 0; ri < rules.size(); ++ri) {
+      for (std::size_t s = 0; s < syms_.size(); ++s) {
+        const std::size_t lane = ri * syms_.size() + s;
+        group.need_occupied[lane] = rules[ri].need_occupied[s];
+        group.forbid_occupied[lane] = rules[ri].forbid_occupied[s];
+        group.need_wall[lane] = rules[ri].need_wall[s];
+        group.forbid_wall[lane] = rules[ri].forbid_wall[s];
+      }
+    }
+  }
+}
+
+std::uint32_t guard_pass_mask_scalar(const GuardGroup& group, SnapshotPlanes planes,
+                                     std::size_t base) {
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < kGuardLaneBlock; ++i) {
+    const std::size_t lane = base + i;
+    const std::uint32_t reject =
+        (group.need_occupied[lane] & static_cast<std::uint16_t>(~planes.occupied)) |
+        (group.forbid_occupied[lane] & planes.occupied) |
+        (group.need_wall[lane] & static_cast<std::uint16_t>(~planes.wall)) |
+        (group.forbid_wall[lane] & planes.wall);
+    if (reject == 0) mask |= 1u << i;
+  }
+  return mask;
+}
+
+std::uint32_t guard_pass_mask(const GuardGroup& group, SnapshotPlanes planes, std::size_t base) {
+  // One-time probe; afterwards a perfectly predicted branch.  The AVX2 TU is
+  // compiled with vector flags, so this baseline-ISA TU owns the dispatch.
+  static const bool simd = guard_simd_available();
+  if (simd) return guard_pass_mask_avx2(group, planes, base);
+  return guard_pass_mask_scalar(group, planes, base);
 }
 
 std::shared_ptr<const CompiledAlgorithm> CompiledAlgorithm::get(const Algorithm& alg) {

@@ -27,14 +27,10 @@
 
 namespace lumi {
 
-/// Bitset planes over the kernel cells of one snapshot (bit w = cell w):
-/// which cells are occupied by at least one robot, and which are walls.
-/// kMaxKernelSize = 13 bits fit one u16 each.
-struct SnapshotPlanes {
-  std::uint16_t occupied = 0;
-  std::uint16_t wall = 0;
-};
-
+/// Recomputes SnapshotPlanes (see view.hpp) from a snapshot's cells.  The
+/// hot path reads the masks Snapshot carries instead — take_snapshot_into
+/// fills them while touching each cell anyway — so this is the reference
+/// builder the differential tests pin that fused fill against.
 SnapshotPlanes snapshot_planes(const Snapshot& snap, int kernel_size);
 
 /// One rule compiled against the view kernel.  Field order mirrors Action
@@ -66,6 +62,45 @@ struct CompiledRule {
   }
 };
 
+/// Lanes per guard-plane block: 16 u16 planes fill one 256-bit register, so
+/// the vector kernel judges 16 (rule, symmetry) slots per compare sequence.
+inline constexpr std::size_t kGuardLaneBlock = 16;
+
+/// Structure-of-arrays guard-plane prefilter over one self-color rule group.
+/// Lane `r * num_symmetries + s` holds the planes of the group's r-th rule
+/// under its s-th admissible symmetry — the same rule-then-symmetry order the
+/// matcher reports witnesses in.  The arrays are padded to a multiple of
+/// kGuardLaneBlock with always-reject sentinels (all planes 0xFFFF: the
+/// kernel has at most 13 cells, so a sentinel's high need-bits can never be
+/// satisfied), letting the kernels sweep whole blocks unconditionally.
+struct GuardGroup {
+  std::size_t lanes = 0;  ///< real lanes (rules * symmetries), before padding
+  std::vector<std::uint16_t> need_occupied;
+  std::vector<std::uint16_t> forbid_occupied;
+  std::vector<std::uint16_t> need_wall;
+  std::vector<std::uint16_t> forbid_wall;
+};
+
+/// Bitmask (bit i set = lane base+i survives) of the planes prefilter over
+/// one block of kGuardLaneBlock lanes.  `base` must be block-aligned and
+/// within the padded arrays.  A set bit means the snapshot *may* match the
+/// lane's dense row; a clear bit proves it cannot.  The scalar reference and
+/// the dispatching entry point are differentially pinned against each other
+/// (tests/test_guard_simd.cpp).
+std::uint32_t guard_pass_mask_scalar(const GuardGroup& group, SnapshotPlanes planes,
+                                     std::size_t base);
+/// AVX2 kernel; defined as a scalar delegate when the build excludes SIMD
+/// (so the symbol always links).  Call only when guard_simd_available().
+std::uint32_t guard_pass_mask_avx2(const GuardGroup& group, SnapshotPlanes planes,
+                                   std::size_t base);
+/// True when the vector kernel is compiled in AND the CPU supports it; the
+/// build-time switch is -DLUMI_FORCE_SCALAR_GUARDS (CMake option of the same
+/// name), which pins the portable scalar path.
+bool guard_simd_available();
+/// Build-time-selected entry point: the AVX2 kernel when available, the
+/// scalar reference otherwise.  Verdicts are bit-identical either way.
+std::uint32_t guard_pass_mask(const GuardGroup& group, SnapshotPlanes planes, std::size_t base);
+
 class CompiledAlgorithm {
  public:
   explicit CompiledAlgorithm(const Algorithm& alg);
@@ -84,12 +119,18 @@ class CompiledAlgorithm {
   std::span<const CompiledRule> rules_for(Color self) const {
     return by_color_[static_cast<std::size_t>(self)];
   }
+  /// The SoA guard-plane prefilter for the `self` rule group (lane order
+  /// matches rules_for: rule-major, symmetry-minor).
+  const GuardGroup& guard_group(Color self) const {
+    return groups_[static_cast<std::size_t>(self)];
+  }
 
  private:
   int phi_;
   int kernel_size_;
   std::span<const Sym> syms_;
   std::array<std::vector<CompiledRule>, kMaxColors> by_color_;
+  std::array<GuardGroup, kMaxColors> groups_;
 };
 
 }  // namespace lumi

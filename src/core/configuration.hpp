@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory_resource>
 #include <span>
 #include <string>
 #include <utility>
@@ -48,8 +49,20 @@ class Configuration {
  public:
   /// Robots must sit on real nodes; on wrapped topologies out-of-box
   /// placements are canonicalized, on bounded ones they throw (the seed
-  /// Grid behavior).
-  Configuration(Topology topo, std::vector<Robot> robots);
+  /// Grid behavior).  `mem` (optional) backs the robot list, occupancy
+  /// array and journal — batched campaign workers pass a per-worker Arena
+  /// so run-local tables are pointer bumps instead of heap traffic; null
+  /// selects the global heap.  Copies always go to the default resource
+  /// (pmr copy semantics), so traces recorded from an arena-backed run are
+  /// safe to outlive it.
+  Configuration(Topology topo, std::vector<Robot> robots,
+                std::pmr::memory_resource* mem = nullptr);
+
+  /// Alloc-extended copy: a clone of `other` whose robot/occupancy/journal
+  /// tables live on `mem` (null = heap).  Skips placement validation and the
+  /// occupancy rebuild — the batch runner constructs a cell's initial
+  /// configuration once and stamps per-item arena-backed copies from it.
+  Configuration(const Configuration& other, std::pmr::memory_resource* mem);
 
   const Topology& topology() const { return grid_; }
   /// Historical spelling; the world has been a Topology since the topology
@@ -57,7 +70,7 @@ class Configuration {
   const Topology& grid() const { return grid_; }
   int num_robots() const { return static_cast<int>(robots_.size()); }
   const Robot& robot(int i) const { return robots_.at(static_cast<std::size_t>(i)); }
-  const std::vector<Robot>& robots() const { return robots_; }
+  std::span<const Robot> robots() const { return robots_; }
 
   void set_color(int i, Color c) {
     Robot& r = robots_.at(static_cast<std::size_t>(i));
@@ -77,6 +90,28 @@ class Configuration {
   /// edges count).  The stored position is canonical.
   void move_robot(int i, Vec to);
 
+  /// Engine fast path: moves robot `i` along an edge Topology::step already
+  /// validated.  Precondition: `to` is the canonical neighbor step() just
+  /// returned for the robot's current position — anything else corrupts the
+  /// occupancy table.  Skips move_robot's re-validation (a second
+  /// canonical_index walk, the adjacency probe, and a second node()
+  /// decode — a measurable share of every micro-run instant, paid per
+  /// applied move); the occupancy and journal updates are identical.
+  void move_robot_stepped(int i, Vec to) {
+    Robot& r = robots_[static_cast<std::size_t>(i)];
+    const int to_index = grid_.index(to);
+    const int from_index = grid_.index(r.pos);
+    // Add before remove: add can throw (destination stack overflow) and must
+    // do so before any state changed; removing a present color cannot throw.
+    occupancy_[static_cast<std::size_t>(to_index)].add(r.color);
+    occupancy_[static_cast<std::size_t>(from_index)].remove(r.color);
+    r.pos = to;
+    if (journal_enabled_) {
+      journal_.push_back(from_index);
+      journal_.push_back(to_index);
+    }
+  }
+
   /// Multiset of colors on the node `v` designates (empty when unoccupied).
   const ColorMultiset& multiset_at(Vec v) const {
     static constexpr ColorMultiset kEmpty;
@@ -94,7 +129,7 @@ class Configuration {
   /// dispatch.  Precondition: topology().plain().  The snapshot loop — the
   /// innermost code of the simulator — branches on plain() once and calls
   /// this per cell, so plain grids pay nothing for the topology abstraction
-  /// (bench_campaign gates this at 5%).
+  /// (bench_campaign gates this at 20%).
   CellContent cell_plain(Vec v) const {
     if (v.row < 0 || v.row >= grid_.rows() || v.col < 0 || v.col >= grid_.cols()) {
       return CellContent{.wall = true, .robots = {}};
@@ -102,6 +137,10 @@ class Configuration {
     return CellContent{.wall = false,
                        .robots = occupancy_[static_cast<std::size_t>(grid_.index(v))]};
   }
+  /// The node-indexed occupancy table itself (row-major on plain grids).
+  /// The snapshot fill reads it through a local pointer so its stores into
+  /// the snapshot cannot force per-cell reloads of the table address.
+  std::span<const ColorMultiset> occupancy() const { return occupancy_; }
   bool occupied(Vec v) const { return !multiset_at(v).empty(); }
 
   /// Robots sorted by (pos, color): configurations that are equal as
@@ -129,11 +168,11 @@ class Configuration {
 
  private:
   Topology grid_;
-  std::vector<Robot> robots_;
+  std::pmr::vector<Robot> robots_;
   /// Node-indexed color multisets, maintained incrementally.
-  std::vector<ColorMultiset> occupancy_;
+  std::pmr::vector<ColorMultiset> occupancy_;
   bool journal_enabled_ = false;
-  std::vector<int> journal_;
+  std::pmr::vector<int> journal_;
 };
 
 /// Convenience: builds a configuration from (node, colors...) placements.

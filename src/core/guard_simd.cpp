@@ -1,0 +1,59 @@
+// AVX2 guard-plane kernel.  This is the only translation unit compiled with
+// vector flags (-mavx2, added by CMake when the compiler supports it and
+// LUMI_FORCE_SCALAR_GUARDS is off), so nothing here may be called unless
+// guard_simd_available() — which also probes the CPU at runtime — is true.
+// The portable scalar path lives in compiled.cpp and is selected at build
+// time by omitting LUMI_GUARD_SIMD; the two are differentially pinned by
+// tests/test_guard_simd.cpp.
+#include "src/core/compiled.hpp"
+
+#if defined(LUMI_GUARD_SIMD)
+#include <immintrin.h>
+#endif
+
+namespace lumi {
+
+#if defined(LUMI_GUARD_SIMD)
+
+bool guard_simd_available() { return __builtin_cpu_supports("avx2") != 0; }
+
+std::uint32_t guard_pass_mask_avx2(const GuardGroup& group, SnapshotPlanes planes,
+                                   std::size_t base) {
+  // A lane survives iff
+  //   (need_occ & ~occ) | (forbid_occ & occ) | (need_wall & ~wall) | (forbid_wall & wall) == 0
+  // evaluated for 16 u16 lanes at once against the broadcast snapshot planes.
+  const __m256i occ = _mm256_set1_epi16(static_cast<short>(planes.occupied));
+  const __m256i wall = _mm256_set1_epi16(static_cast<short>(planes.wall));
+  const __m256i need_occ =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(group.need_occupied.data() + base));
+  const __m256i forbid_occ =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(group.forbid_occupied.data() + base));
+  const __m256i need_wall =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(group.need_wall.data() + base));
+  const __m256i forbid_wall =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(group.forbid_wall.data() + base));
+  const __m256i reject = _mm256_or_si256(
+      _mm256_or_si256(_mm256_andnot_si256(occ, need_occ), _mm256_and_si256(forbid_occ, occ)),
+      _mm256_or_si256(_mm256_andnot_si256(wall, need_wall), _mm256_and_si256(forbid_wall, wall)));
+  const __m256i pass = _mm256_cmpeq_epi16(reject, _mm256_setzero_si256());
+  // packs squeezes the 16 pass words to bytes within each 128-bit half:
+  // movemask bits 0..7 are lanes 0..7 and bits 16..23 are lanes 8..15.
+  const __m256i packed = _mm256_packs_epi16(pass, _mm256_setzero_si256());
+  const std::uint32_t m = static_cast<std::uint32_t>(_mm256_movemask_epi8(packed));
+  return (m & 0xFFu) | ((m >> 8) & 0xFF00u);
+}
+
+#else  // scalar-only build (LUMI_FORCE_SCALAR_GUARDS, or no AVX2 compiler support)
+
+bool guard_simd_available() { return false; }
+
+std::uint32_t guard_pass_mask_avx2(const GuardGroup& group, SnapshotPlanes planes,
+                                   std::size_t base) {
+  // Keeps the symbol linkable in scalar builds; never reached through
+  // guard_pass_mask (guard_simd_available() is false).
+  return guard_pass_mask_scalar(group, planes, base);
+}
+
+#endif
+
+}  // namespace lumi

@@ -1,6 +1,7 @@
 #include "src/core/incremental.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace lumi {
 
@@ -25,14 +26,18 @@ std::uint64_t indexed_placement_hash(const Configuration& config) {
 }
 
 DirtyTracker::DirtyTracker(std::shared_ptr<const CompiledAlgorithm> alg, Configuration& config,
-                           const TrackerWarmStart* warm)
+                           const TrackerWarmStart* warm, std::pmr::memory_resource* mem)
     : alg_(std::move(alg)),
       config_(&config),
       actions_(static_cast<std::size_t>(config.num_robots())),
-      positions_(static_cast<std::size_t>(config.num_robots())),
-      head_(static_cast<std::size_t>(config.grid().num_nodes()), -1),
-      next_(static_cast<std::size_t>(config.num_robots()), -1),
-      dirty_(static_cast<std::size_t>(config.num_robots()), 0) {
+      positions_(static_cast<std::size_t>(config.num_robots()),
+                 mem != nullptr ? mem : std::pmr::get_default_resource()),
+      head_(static_cast<std::size_t>(config.grid().num_nodes()), -1,
+            mem != nullptr ? mem : std::pmr::get_default_resource()),
+      next_(static_cast<std::size_t>(config.num_robots()), -1,
+            mem != nullptr ? mem : std::pmr::get_default_resource()),
+      dirty_(static_cast<std::size_t>(config.num_robots()), 0,
+             mem != nullptr ? mem : std::pmr::get_default_resource()) {
   config.set_journal(true);
   // A warm start replaces the initial full compute when it provably belongs
   // to this configuration; anything else falls back to computing.
@@ -76,18 +81,45 @@ void DirtyTracker::refresh() {
   const Topology& grid = config_->topology();
   const ViewKernel& kernel = ViewKernel::get(alg_->phi());
   std::fill(dirty_.begin(), dirty_.end(), std::uint8_t{0});
-  for (const int node : journal) {
-    const Vec v = grid.node(node);
-    for (const Vec o : kernel.offsets()) {
-      // The kernel is symmetric, so robot r sees node v iff r sits on the
-      // node v + o designates for some offset o — including across a
-      // wraparound seam, which canonical_index folds in (a node reachable
-      // through several offsets is just marked twice).
-      const int pi = grid.canonical_index(v + o);
-      if (pi < 0) continue;
-      for (int r = head_[static_cast<std::size_t>(pi)]; r >= 0;
-           r = next_[static_cast<std::size_t>(r)]) {
-        dirty_[static_cast<std::size_t>(r)] = 1;
+  int marked = 0;
+  if (grid.plain()) {
+    // No wraparound: robot r (at its last-refresh position — the identity
+    // the reverse map also uses) sees journaled node v iff their L1
+    // distance is within phi.  A direct robot-against-journal sweep beats
+    // expanding each node's kernel footprint through canonical_index when
+    // the robot count is a handful, which it is for every Table-1
+    // algorithm.  Same dirty set, same counters.
+    const int phi = alg_->phi();
+    for (const int node : journal) {
+      if (marked == n) break;  // everyone is dirty; further marking is a no-op
+      const Vec v = grid.node(node);
+      for (int r = 0; r < n; ++r) {
+        if (dirty_[static_cast<std::size_t>(r)] != 0) continue;
+        const Vec p = positions_[static_cast<std::size_t>(r)];
+        if (std::abs(p.row - v.row) + std::abs(p.col - v.col) <= phi) {
+          dirty_[static_cast<std::size_t>(r)] = 1;
+          ++marked;
+        }
+      }
+    }
+  } else {
+    for (const int node : journal) {
+      if (marked == n) break;  // everyone is dirty; further marking is a no-op
+      const Vec v = grid.node(node);
+      for (const Vec o : kernel.offsets()) {
+        // The kernel is symmetric, so robot r sees node v iff r sits on the
+        // node v + o designates for some offset o — including across a
+        // wraparound seam, which canonical_index folds in (a node reachable
+        // through several offsets is just marked twice).
+        const int pi = grid.canonical_index(v + o);
+        if (pi < 0) continue;
+        for (int r = head_[static_cast<std::size_t>(pi)]; r >= 0;
+             r = next_[static_cast<std::size_t>(r)]) {
+          if (dirty_[static_cast<std::size_t>(r)] == 0) {
+            dirty_[static_cast<std::size_t>(r)] = 1;
+            ++marked;
+          }
+        }
       }
     }
   }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <mutex>
 #include <vector>
 
@@ -75,8 +76,13 @@ class DirtyTracker {
   /// matches the configuration).  The configuration must outlive the
   /// tracker, stay at the same address, and only be mutated through
   /// set_color/move_robot while attached (so every change is journaled).
+  /// `mem` (optional) backs the internal position/reverse-map/dirty tables —
+  /// batch workers pass their per-item Arena; null selects the heap.  The
+  /// verdict table itself stays on the heap: it is handed to schedulers and
+  /// exported as warm starts, both of which outlive a batch item.
   DirtyTracker(std::shared_ptr<const CompiledAlgorithm> alg, Configuration& config,
-               const TrackerWarmStart* warm = nullptr);
+               const TrackerWarmStart* warm = nullptr,
+               std::pmr::memory_resource* mem = nullptr);
   ~DirtyTracker();
 
   DirtyTracker(const DirtyTracker&) = delete;
@@ -124,13 +130,13 @@ class DirtyTracker {
   std::shared_ptr<const CompiledAlgorithm> alg_;
   Configuration* config_;
   std::vector<std::vector<Action>> actions_;  ///< cached verdict per robot
-  std::vector<Vec> positions_;                ///< robot positions at last refresh
+  std::pmr::vector<Vec> positions_;           ///< robot positions at last refresh
   /// Node -> robots-there reverse map (per positions_) as intrusive singly
   /// linked lists: head_[node] is the first robot on the node (-1 = none),
   /// next_[robot] the next one.  Allocation-free to build and update.
-  std::vector<int> head_;
-  std::vector<int> next_;
-  std::vector<std::uint8_t> dirty_;  ///< per-refresh scratch
+  std::pmr::vector<int> head_;
+  std::pmr::vector<int> next_;
+  std::pmr::vector<std::uint8_t> dirty_;  ///< per-refresh scratch
   Snapshot scratch_;                 ///< shared inline snapshot buffer
   Counters counters_;
 };

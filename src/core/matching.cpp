@@ -1,5 +1,6 @@
 #include "src/core/matching.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace lumi {
@@ -48,12 +49,25 @@ void enabled_actions_into(const CompiledAlgorithm& alg, const Snapshot& snap,
   check_phi(alg, snap);
   out.clear();
   const int ks = alg.kernel_size();
-  const SnapshotPlanes planes = snapshot_planes(snap, ks);
+  // take_snapshot_into filled the planes while touching each cell; reusing
+  // them here saves the matcher a second 13-cell sweep per Look.
+  const SnapshotPlanes planes = snap.planes;
   const std::span<const Sym> syms = alg.symmetries();
-  for (const CompiledRule& rule : alg.rules_for(snap.self_color)) {
-    const CellPattern* row = rule.patterns.data();
-    for (std::size_t s = 0; s < syms.size(); ++s, row += ks) {
-      if (rule.planes_reject(s, planes)) continue;
+  const std::span<const CompiledRule> rules = alg.rules_for(snap.self_color);
+  const GuardGroup& group = alg.guard_group(snap.self_color);
+  const std::size_t nsyms = syms.size();
+  // The whole self-color group is judged a block of 16 (rule, symmetry)
+  // lanes at a time; only surviving lanes pay the dense row walk.  Lanes
+  // ascend in rule-then-symmetry order, so witnesses come out identical to
+  // the per-rule reference loop.
+  for (std::size_t base = 0; base < group.lanes; base += kGuardLaneBlock) {
+    std::uint32_t mask = guard_pass_mask(group, planes, base);
+    while (mask != 0) {
+      const std::size_t lane = base + static_cast<std::size_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      const CompiledRule& rule = rules[lane / nsyms];
+      const std::size_t s = lane % nsyms;
+      const CellPattern* row = rule.patterns.data() + s * static_cast<std::size_t>(ks);
       if (!row_matches(row, snap, ks)) continue;
       const Action act = make_action(rule, syms, s);
       bool duplicate = false;
@@ -76,12 +90,21 @@ std::vector<Action> enabled_actions(const CompiledAlgorithm& alg, const Configur
 std::optional<Action> first_enabled(const CompiledAlgorithm& alg, const Snapshot& snap) {
   check_phi(alg, snap);
   const int ks = alg.kernel_size();
-  const SnapshotPlanes planes = snapshot_planes(snap, ks);
+  // take_snapshot_into filled the planes while touching each cell; reusing
+  // them here saves the matcher a second 13-cell sweep per Look.
+  const SnapshotPlanes planes = snap.planes;
   const std::span<const Sym> syms = alg.symmetries();
-  for (const CompiledRule& rule : alg.rules_for(snap.self_color)) {
-    const CellPattern* row = rule.patterns.data();
-    for (std::size_t s = 0; s < syms.size(); ++s, row += ks) {
-      if (rule.planes_reject(s, planes)) continue;
+  const std::span<const CompiledRule> rules = alg.rules_for(snap.self_color);
+  const GuardGroup& group = alg.guard_group(snap.self_color);
+  const std::size_t nsyms = syms.size();
+  for (std::size_t base = 0; base < group.lanes; base += kGuardLaneBlock) {
+    std::uint32_t mask = guard_pass_mask(group, planes, base);
+    while (mask != 0) {
+      const std::size_t lane = base + static_cast<std::size_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      const CompiledRule& rule = rules[lane / nsyms];
+      const std::size_t s = lane % nsyms;
+      const CellPattern* row = rule.patterns.data() + s * static_cast<std::size_t>(ks);
       if (row_matches(row, snap, ks)) return make_action(rule, syms, s);
     }
   }

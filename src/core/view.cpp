@@ -44,24 +44,84 @@ Snapshot take_snapshot(const Configuration& config, int robot, int phi) {
   return snap;
 }
 
+namespace {
+
+/// Cell fills specialized on phi: the kernel size becomes a compile-time
+/// trip count (5 for phi 1, 13 for phi 2), so the loop — the innermost code
+/// of the simulator — carries no end-of-kernel recomputation per cell.  The
+/// guard-plane masks are accumulated in the same pass that fills the cells:
+/// the matcher needs them for every Look, and rebuilding them there would
+/// walk every cell a second time.
+///
+/// Plain grids — the paper's world and the bulk of every campaign — get
+/// their own fill: the seed bounds-check + row-major lookup per cell,
+/// written in place (the mask bit falls out of the same branch, no re-test
+/// of the filled cell), with the table pointer and dimensions in locals so
+/// the stores into the snapshot cannot force per-cell reloads.
+template <int Phi>
+void fill_plain(const Configuration& config, Vec origin, const Vec* offsets, Snapshot& out) {
+  constexpr std::size_t kCells = Phi == 1 ? 5 : 13;
+  std::uint16_t occupied = 0;
+  std::uint16_t wall = 0;
+  const int rows = config.topology().rows();
+  const int cols = config.topology().cols();
+  const ColorMultiset* occ = config.occupancy().data();
+  for (std::size_t i = 0; i < kCells; ++i) {
+    const Vec v = origin + offsets[i];
+    CellContent& cell = out.cells[i];
+    if (v.row >= 0 && v.row < rows && v.col >= 0 && v.col < cols) {
+      const ColorMultiset m = occ[static_cast<std::size_t>(v.row * cols + v.col)];
+      cell.wall = false;
+      cell.robots = m;
+      if (!m.empty()) occupied |= static_cast<std::uint16_t>(1u << i);
+    } else {
+      cell.wall = true;
+      cell.robots = ColorMultiset{};
+      wall |= static_cast<std::uint16_t>(1u << i);
+    }
+  }
+  out.planes = SnapshotPlanes{occupied, wall};
+}
+
+template <int Phi>
+void fill_general(const Configuration& config, Vec origin, const Vec* offsets, Snapshot& out) {
+  constexpr std::size_t kCells = Phi == 1 ? 5 : 13;
+  std::uint16_t occupied = 0;
+  std::uint16_t wall = 0;
+  for (std::size_t i = 0; i < kCells; ++i) {
+    const CellContent& cell = out.cells[i] = config.cell(origin + offsets[i]);
+    if (cell.wall) {
+      wall |= static_cast<std::uint16_t>(1u << i);
+    } else if (!cell.robots.empty()) {
+      occupied |= static_cast<std::uint16_t>(1u << i);
+    }
+  }
+  out.planes = SnapshotPlanes{occupied, wall};
+}
+
+}  // namespace
+
 void take_snapshot_into(const Configuration& config, int robot, int phi, Snapshot& out) {
   const ViewKernel& kernel = ViewKernel::get(phi);
-  const Robot& r = config.robot(robot);
+  // Unchecked robot access: every caller iterates robot indices it got from
+  // this very configuration, and this function runs once per Look — the
+  // innermost call of the simulator (ViewKernel::get above throws on a phi
+  // outside {1, 2} before anything is read).
+  const Robot& r = config.robots()[static_cast<std::size_t>(robot)];
   out.origin = r.pos;
   out.self_color = r.color;
   out.phi = phi;
-  const std::span<const Vec> offsets = kernel.offsets();
-  if (config.topology().plain()) {
-    // Plain grids — the paper's world and the bulk of every campaign — skip
-    // the per-cell topology dispatch: one branch per snapshot, then the seed
-    // bounds-check + row-major lookup per cell.
-    for (std::size_t i = 0; i < offsets.size(); ++i) {
-      out.cells[i] = config.cell_plain(r.pos + offsets[i]);
-    }
+  const Vec* offsets = kernel.offsets().data();
+  // Plain phi-2 is the hot combination (every Table-1 campaign cell on the
+  // default topology); it falls straight through to its fill.
+  if (config.topology().plain() && phi == 2) [[likely]] {
+    fill_plain<2>(config, r.pos, offsets, out);
+  } else if (config.topology().plain()) {
+    fill_plain<1>(config, r.pos, offsets, out);
+  } else if (phi == 2) {
+    fill_general<2>(config, r.pos, offsets, out);
   } else {
-    for (std::size_t i = 0; i < offsets.size(); ++i) {
-      out.cells[i] = config.cell(r.pos + offsets[i]);
-    }
+    fill_general<1>(config, r.pos, offsets, out);
   }
 }
 

@@ -65,6 +65,14 @@ class ViewKernel {
   std::array<std::array<std::uint8_t, kMaxKernelSize>, 8> perm_{};
 };
 
+/// Bitset planes over the kernel cells of one snapshot (bit w = cell w):
+/// which cells are occupied by at least one robot, and which are walls.
+/// kMaxKernelSize = 13 bits fit one u16 each.
+struct SnapshotPlanes {
+  std::uint16_t occupied = 0;
+  std::uint16_t wall = 0;
+};
+
 /// Immutable snapshot around one robot, taken in the global frame.  Cells
 /// live inline (kernel size <= kMaxKernelSize): snapshots are stack objects
 /// with zero heap traffic.
@@ -73,6 +81,11 @@ struct Snapshot {
   Color self_color = Color::G;     ///< robot's own light at Look time
   int phi = 1;
   std::array<CellContent, kMaxKernelSize> cells{};  ///< kernel order for ViewKernel::get(phi)
+  /// Guard-prefilter planes over `cells`, accumulated during the same pass
+  /// that fills them (the matcher would otherwise re-scan all 13 cells per
+  /// Look just to rebuild two bitmasks).  snapshot_planes() recomputes the
+  /// same masks from `cells` and serves as the differential reference.
+  SnapshotPlanes planes{};
 
   /// Content at `offset` from origin (kernel coordinates, global frame).
   const CellContent& at(Vec offset) const;

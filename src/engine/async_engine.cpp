@@ -5,17 +5,25 @@
 namespace lumi {
 
 AsyncEngine::AsyncEngine(const Algorithm& alg, Configuration initial, bool incremental,
-                         WarmStartSlot* warm)
+                         WarmStartSlot* warm,
+                         std::shared_ptr<const CompiledAlgorithm> precompiled,
+                         std::pmr::memory_resource* mem, const TrackerWarmStart* warm_adopt)
     : alg_(&alg),
-      compiled_(CompiledAlgorithm::get(alg)),
+      compiled_(precompiled != nullptr ? std::move(precompiled) : CompiledAlgorithm::get(alg)),
       config_(std::move(initial)),
       phases_(static_cast<std::size_t>(config_.num_robots()), Phase::Idle),
       pending_(static_cast<std::size_t>(config_.num_robots())) {
   if (incremental) {
-    std::shared_ptr<const TrackerWarmStart> table;
-    if (warm != nullptr) table = warm->get();
-    tracker_ = std::make_unique<DirtyTracker>(compiled_, config_, table.get());
-    if (warm != nullptr && !tracker_->warm_started()) warm->set(tracker_->export_warm());
+    std::shared_ptr<const TrackerWarmStart> held;
+    const TrackerWarmStart* table = warm_adopt;
+    if (table == nullptr && warm != nullptr) {
+      held = warm->get();
+      table = held.get();
+    }
+    tracker_ = std::make_unique<DirtyTracker>(compiled_, config_, table, mem);
+    if (warm_adopt == nullptr && warm != nullptr && !tracker_->warm_started()) {
+      warm->set(tracker_->export_warm());
+    }
   }
 }
 
@@ -106,7 +114,9 @@ void AsyncEngine::activate(int robot, std::optional<Action> chosen) {
         const std::optional<Vec> to =
             config_.topology().step(config_.robot(robot).pos, *act.move);
         if (!to) throw std::logic_error("AsyncEngine: robot would leave the grid");
-        config_.move_robot(robot, *to);
+        // *to came out of Topology::step, so the edge is already proven; the
+        // stepped fast path skips move_robot's re-validation.
+        config_.move_robot_stepped(robot, *to);
       }
       phase = Phase::Idle;
       if (tracker_) tracker_->refresh();

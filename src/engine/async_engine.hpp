@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <memory_resource>
 #include <optional>
 #include <vector>
 
@@ -38,8 +39,15 @@ class AsyncEngine {
   /// with `incremental`) is a per-cell cache of initial verdict tables: a
   /// published table matching the initial configuration skips the tracker's
   /// initial full compute; otherwise this engine publishes its own.
+  /// `precompiled` (optional) is a batch-hoisted compilation of `alg`;
+  /// `mem` (optional) backs the tracker's internal tables; `warm_adopt`
+  /// (optional) adopts a table directly, bypassing the slot — all pure perf,
+  /// see RunOptions.
   explicit AsyncEngine(const Algorithm& alg, Configuration initial, bool incremental = true,
-                       WarmStartSlot* warm = nullptr);
+                       WarmStartSlot* warm = nullptr,
+                       std::shared_ptr<const CompiledAlgorithm> precompiled = nullptr,
+                       std::pmr::memory_resource* mem = nullptr,
+                       const TrackerWarmStart* warm_adopt = nullptr);
 
   // The tracker holds a pointer into config_, so the engine must not move.
   AsyncEngine(const AsyncEngine&) = delete;

@@ -36,9 +36,13 @@ std::string describe(const Algorithm& alg, const RobotAction& ra) {
 
 RunResult run_sync(const Algorithm& alg, const Topology& topo, SyncScheduler& sched,
                    const RunOptions& opts) {
-  // Compile the matcher once per run; every instant reuses the shared tables.
-  const std::shared_ptr<const CompiledAlgorithm> compiled = CompiledAlgorithm::get(alg);
-  Configuration config = alg.initial_configuration(topo);
+  // Compile the matcher once per run (or adopt the batch-hoisted
+  // compilation); every instant reuses the shared tables.
+  const std::shared_ptr<const CompiledAlgorithm> compiled =
+      opts.precompiled != nullptr ? opts.precompiled : CompiledAlgorithm::get(alg);
+  Configuration config = opts.initial != nullptr
+                             ? Configuration(*opts.initial, opts.arena)
+                             : alg.initial_configuration(topo, opts.arena);
   // With dirty tracking, each instant re-matches only the robots whose view
   // covers a cell the previous instant changed; everyone else keeps the
   // cached verdict.  `tracker` outlives the loop so verdicts carry across
@@ -48,9 +52,13 @@ RunResult run_sync(const Algorithm& alg, const Topology& topo, SyncScheduler& sc
     // Per-cell warm start: adopt the cached initial verdict table when one
     // is published for this initial configuration; publish ours otherwise.
     std::shared_ptr<const TrackerWarmStart> warm;
-    if (opts.warm_start != nullptr) warm = opts.warm_start->get();
-    tracker.emplace(compiled, config, warm.get());
-    if (opts.warm_start != nullptr && !tracker->warm_started()) {
+    const TrackerWarmStart* table = opts.warm_adopt;
+    if (table == nullptr && opts.warm_start != nullptr) {
+      warm = opts.warm_start->get();
+      table = warm.get();
+    }
+    tracker.emplace(compiled, config, table, opts.arena);
+    if (opts.warm_adopt == nullptr && opts.warm_start != nullptr && !tracker->warm_started()) {
       opts.warm_start->set(tracker->export_warm());
     }
   }
@@ -66,6 +74,7 @@ RunResult run_sync(const Algorithm& alg, const Topology& topo, SyncScheduler& sc
   mark_visited(result.visited, topo, config);
   if (opts.record_trace) result.trace.push(config, "initial");
 
+  std::vector<RobotAction> selected;  // reused across instants via select_into
   for (long step = 0; step < opts.max_steps; ++step) {
     const std::vector<std::vector<Action>>& enabled = [&]() -> const auto& {
       if (tracker) {
@@ -75,24 +84,31 @@ RunResult run_sync(const Algorithm& alg, const Topology& topo, SyncScheduler& sc
       scratch = all_enabled_actions(*compiled, config);
       return scratch;
     }();
-    bool any_enabled = false;
-    for (const auto& actions : enabled) {
-      any_enabled = any_enabled || !actions.empty();
-      if (opts.require_unique_actions && actions.size() > 1) {
-        result.failure = "robot has multiple distinct enabled behaviors at instant " +
-                         std::to_string(step) + " in " + config.to_string();
+    if (opts.require_unique_actions) {
+      for (const auto& actions : enabled) {
+        if (actions.size() > 1) {
+          result.failure = "robot has multiple distinct enabled behaviors at instant " +
+                           std::to_string(step) + " in " + config.to_string();
+          copy_counters(result);
+          return result;
+        }
+      }
+    }
+    // Termination is detected from the selection: the scheduler contract
+    // (sync_schedulers.hpp) returns empty exactly when no robot is enabled,
+    // so the hot loop carries no per-instant any-enabled scan — that scan
+    // was a measurable share of a whole micro-run.  The scan below runs once
+    // per run, to tell a terminal configuration from a scheduler bug.
+    sched.select_into(config, enabled, selected);
+    if (selected.empty()) {
+      bool any_enabled = false;
+      for (const auto& actions : enabled) any_enabled = any_enabled || !actions.empty();
+      if (!any_enabled) {
+        result.terminated = true;
+        result.explored_all = all_explored(result.visited, topo);
         copy_counters(result);
         return result;
       }
-    }
-    if (!any_enabled) {
-      result.terminated = true;
-      result.explored_all = all_explored(result.visited, topo);
-      copy_counters(result);
-      return result;
-    }
-    const std::vector<RobotAction> selected = sched.select(config, enabled);
-    if (selected.empty()) {
       result.failure = "scheduler returned an empty selection";
       copy_counters(result);
       return result;
@@ -102,12 +118,23 @@ RunResult run_sync(const Algorithm& alg, const Topology& topo, SyncScheduler& sc
       result.stats.activations += 1;
       if (ra.action.move.has_value()) result.stats.moves += 1;
       if (ra.action.new_color != config.robot(ra.robot).color) result.stats.color_changes += 1;
-      if (!note.empty()) note += "; ";
-      note += describe(alg, ra);
+      // Notes only exist to annotate recorded traces; skip the string work
+      // (significant at micro-run scale) when nothing records them.
+      if (opts.record_trace) {
+        if (!note.empty()) note += "; ";
+        note += describe(alg, ra);
+      }
     }
     apply_sync_step(config, selected);
     result.stats.instants += 1;
-    mark_visited(result.visited, topo, config);
+    // Coverage only grows where a robot landed; the full-configuration sweep
+    // at entry marked the starting nodes, so per instant it suffices to mark
+    // the movers' new positions.
+    for (const RobotAction& ra : selected) {
+      if (ra.action.move.has_value()) {
+        result.visited[static_cast<std::size_t>(topo.index(config.robot(ra.robot).pos))] = true;
+      }
+    }
     if (opts.record_trace) result.trace.push(config, note);
   }
   result.failure = "step budget exhausted (" + std::to_string(opts.max_steps) + " instants)";
@@ -117,7 +144,11 @@ RunResult run_sync(const Algorithm& alg, const Topology& topo, SyncScheduler& sc
 
 RunResult run_async(const Algorithm& alg, const Topology& topo, AsyncScheduler& sched,
                     const RunOptions& opts) {
-  AsyncEngine engine(alg, alg.initial_configuration(topo), opts.incremental, opts.warm_start);
+  AsyncEngine engine(alg,
+                     opts.initial != nullptr ? Configuration(*opts.initial, opts.arena)
+                                             : alg.initial_configuration(topo, opts.arena),
+                     opts.incremental, opts.warm_start, opts.precompiled, opts.arena,
+                     opts.warm_adopt);
   RunResult result;
   result.visited.assign(static_cast<std::size_t>(topo.num_nodes()), false);
   mark_visited(result.visited, topo, engine.config());
@@ -152,15 +183,22 @@ RunResult run_async(const Algorithm& alg, const Topology& topo, AsyncScheduler& 
         result.stats.color_changes += 1;
       }
       if (decision.move.has_value()) result.stats.moves += 1;
-      note = "Look: " + describe(alg, RobotAction{robot, decision});
+      // Trace notes are only consumed by recorded traces; skip the string
+      // work (significant at micro-run scale) when nothing records them.
+      if (opts.record_trace) note = "Look: " + describe(alg, RobotAction{robot, decision});
       engine.activate(robot, decision);
     } else {
-      note = (before == Phase::Decided ? "Compute-end: robot " : "Move: robot ") +
-             std::to_string(robot);
+      if (opts.record_trace) {
+        note = (before == Phase::Decided ? "Compute-end: robot " : "Move: robot ") +
+               std::to_string(robot);
+      }
       engine.activate(robot);
     }
     result.stats.instants += 1;
-    mark_visited(result.visited, topo, engine.config());
+    // Only the activated robot can have changed position this event; the
+    // full sweep before the loop covered everyone's starting node.
+    result.visited[static_cast<std::size_t>(topo.index(engine.config().robot(robot).pos))] =
+        true;
     if (opts.record_trace) result.trace.push(engine.config(), note);
   }
   result.failure = "event budget exhausted (" + std::to_string(opts.max_steps) + " events)";

@@ -5,6 +5,8 @@
 // non-wall nodes — not the whole bounding box.
 #pragma once
 
+#include <memory>
+#include <memory_resource>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,33 @@ struct RunOptions {
   /// initial configuration skip the tracker's initial full compute.  Pure
   /// perf — results are identical; not part of checkpoint fingerprints.
   WarmStartSlot* warm_start = nullptr;
+  /// Optional directly-adopted warm start, taking precedence over
+  /// `warm_start`: the batch runner fetches the cell's published table once
+  /// and hands every later item the raw pointer, skipping the slot's mutex
+  /// and shared_ptr traffic per item (and the publish-back attempt — the
+  /// table is already published).  Must outlive the run; the tracker's hash
+  /// check still guards adoption.  Pure perf.
+  const TrackerWarmStart* warm_adopt = nullptr;
+  /// Optional pre-resolved compilation of the algorithm being run (the
+  /// batch runner hoists CompiledAlgorithm::get out of the per-item loop).
+  /// Must come from an algorithm with identical matching semantics; null =
+  /// resolve through the shared cache per run.  Pure perf.
+  std::shared_ptr<const CompiledAlgorithm> precompiled;
+  /// Optional pre-built initial configuration (the batch runner hoists
+  /// Algorithm::initial_configuration out of the per-item loop): the run
+  /// starts from an alloc-extended copy of it instead of rebuilding —
+  /// validation, canonicalization and the occupancy build happen once per
+  /// batch.  Must be exactly initial_configuration(topo) for the algorithm
+  /// and topology being run, and must outlive the run.  Null = build per
+  /// run.  Pure perf.
+  const Configuration* initial = nullptr;
+  /// Optional run-scratch memory resource (batched campaigns pass the
+  /// worker's Arena): backs the configuration's robot/occupancy/journal
+  /// tables and the tracker's internal maps for the duration of the run.
+  /// The caller owns it and may only reset it after the RunResult has been
+  /// consumed into longer-lived storage (traces copy out on record, so the
+  /// result itself never points into the arena).  Null = global heap.
+  std::pmr::memory_resource* arena = nullptr;
 };
 
 struct RunStats {

@@ -1,5 +1,6 @@
 #include "src/engine/sync_engine.hpp"
 
+#include <array>
 #include <stdexcept>
 
 namespace lumi {
@@ -14,8 +15,18 @@ void apply_sync_step(Configuration& config, std::span<const RobotAction> actions
     bool moved;
     Vec to;
   };
-  std::vector<Update> updates;
-  updates.reserve(actions.size());
+  // Selections are at most the robot count — single digits for every
+  // Table-1 algorithm — so the per-instant staging buffer lives on the
+  // stack in the common case instead of costing a heap round-trip.
+  constexpr std::size_t kInline = 16;
+  std::array<Update, kInline> small;
+  std::vector<Update> big;
+  Update* updates = small.data();
+  if (actions.size() > kInline) {
+    big.resize(actions.size());
+    updates = big.data();
+  }
+  std::size_t count = 0;
   for (const RobotAction& ra : actions) {
     const Robot& r = config.robot(ra.robot);
     Update u{ra.robot, ra.action.new_color, r.pos, false, r.pos};
@@ -28,11 +39,14 @@ void apply_sync_step(Configuration& config, std::span<const RobotAction> actions
       u.moved = true;
       u.to = *to;
     }
-    updates.push_back(u);
+    updates[count++] = u;
   }
-  for (const Update& u : updates) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const Update& u = updates[i];
     config.set_color(u.robot, u.color);
-    if (u.moved) config.move_robot(u.robot, u.to);
+    // u.to came out of Topology::step above, so the edge is already proven;
+    // the stepped fast path skips move_robot's re-validation.
+    if (u.moved) config.move_robot_stepped(u.robot, u.to);
   }
 }
 

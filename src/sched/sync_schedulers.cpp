@@ -12,50 +12,86 @@ Action pick_action(std::mt19937& rng, bool randomize, const std::vector<Action>&
 }  // namespace
 
 FsyncScheduler::FsyncScheduler(unsigned seed, bool randomize_choice)
-    : rng_(seed), randomize_choice_(randomize_choice) {}
+    : randomize_choice_(randomize_choice) {
+  if (randomize_choice) rng_.emplace(seed);
+}
 
 std::vector<RobotAction> FsyncScheduler::select(
-    const Configuration&, const std::vector<std::vector<Action>>& enabled) {
+    const Configuration& config, const std::vector<std::vector<Action>>& enabled) {
   std::vector<RobotAction> out;
+  select_into(config, enabled, out);
+  return out;
+}
+
+void FsyncScheduler::select_into(const Configuration&,
+                                 const std::vector<std::vector<Action>>& enabled,
+                                 std::vector<RobotAction>& out) {
+  out.clear();
+  out.reserve(enabled.size());  // no-op once the engine's buffer has warmed up
   for (std::size_t i = 0; i < enabled.size(); ++i) {
     if (enabled[i].empty()) continue;
     out.push_back(RobotAction{static_cast<int>(i),
-                              pick_action(rng_, randomize_choice_, enabled[i])});
+                              randomize_choice_ ? pick_action(*rng_, true, enabled[i])
+                                                : enabled[i].front()});
   }
-  return out;
 }
 
 SsyncRandomScheduler::SsyncRandomScheduler(unsigned seed) : rng_(seed) {}
 
 std::vector<RobotAction> SsyncRandomScheduler::select(
-    const Configuration&, const std::vector<std::vector<Action>>& enabled) {
-  std::vector<int> candidates;
-  for (std::size_t i = 0; i < enabled.size(); ++i) {
-    if (!enabled[i].empty()) candidates.push_back(static_cast<int>(i));
-  }
+    const Configuration& config, const std::vector<std::vector<Action>>& enabled) {
   std::vector<RobotAction> out;
+  select_into(config, enabled, out);
+  return out;
+}
+
+void SsyncRandomScheduler::select_into(const Configuration&,
+                                       const std::vector<std::vector<Action>>& enabled,
+                                       std::vector<RobotAction>& out) {
+  candidates_.clear();
+  candidates_.reserve(enabled.size());
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    if (!enabled[i].empty()) candidates_.push_back(static_cast<int>(i));
+  }
+  out.clear();
+  // Terminating instant: nobody is enabled, so there is no nonempty subset
+  // to draw.  Return empty without touching the RNG — the draw sequence must
+  // match runs recorded before the engines delegated termination detection
+  // to the scheduler (the resample loop below would otherwise spin forever).
+  if (candidates_.empty()) return;
+  out.reserve(candidates_.size());
   while (out.empty()) {  // resample until the subset is nonempty
-    for (int robot : candidates) {
+    for (int robot : candidates_) {
       if (bounded_draw(rng_, 2) == 1) {
         out.push_back(RobotAction{
             robot, pick_action(rng_, true, enabled[static_cast<std::size_t>(robot)])});
       }
     }
   }
-  return out;
 }
 
 std::vector<RobotAction> SsyncRoundRobinScheduler::select(
-    const Configuration&, const std::vector<std::vector<Action>>& enabled) {
+    const Configuration& config, const std::vector<std::vector<Action>>& enabled) {
+  std::vector<RobotAction> out;
+  select_into(config, enabled, out);
+  return out;
+}
+
+void SsyncRoundRobinScheduler::select_into(const Configuration&,
+                                           const std::vector<std::vector<Action>>& enabled,
+                                           std::vector<RobotAction>& out) {
+  out.clear();
   const int n = static_cast<int>(enabled.size());
   for (int step = 0; step < n; ++step) {
     const int robot = (next_ + step) % n;
     if (!enabled[static_cast<std::size_t>(robot)].empty()) {
       next_ = (robot + 1) % n;
-      return {RobotAction{robot, enabled[static_cast<std::size_t>(robot)].front()}};
+      out.push_back(RobotAction{robot, enabled[static_cast<std::size_t>(robot)].front()});
+      return;
     }
   }
-  return {};  // unreachable: caller guarantees someone is enabled
+  // no robot enabled (terminating instant): leave `out` empty with the
+  // rotation cursor untouched
 }
 
 }  // namespace lumi

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <random>
 #include <vector>
 
@@ -18,10 +19,25 @@ class SyncScheduler {
   virtual ~SyncScheduler() = default;
   /// `enabled[i]` holds robot i's distinct enabled behaviors (empty when
   /// disabled).  Must return a nonempty selection of (robot, action) pairs
-  /// with actions drawn from the corresponding `enabled` entries.  Called
-  /// only when at least one robot is enabled.
+  /// with actions drawn from the corresponding `enabled` entries.  When no
+  /// robot is enabled, must return an empty selection without consuming any
+  /// randomness or mutating fairness state: the engines detect termination
+  /// from the empty selection (they no longer pre-scan `enabled` every
+  /// instant — that scan was a measurable share of a micro-run), so every
+  /// scheduler sees exactly one call with an all-disabled table, at the
+  /// terminating instant.
   virtual std::vector<RobotAction> select(
       const Configuration& config, const std::vector<std::vector<Action>>& enabled) = 0;
+  /// Allocation-reusing variant of select(): replaces the contents of `out`
+  /// with this instant's selection.  The engines call this in their instant
+  /// loop with one hoisted buffer, so per-instant selections stop costing a
+  /// heap round-trip; the default forwards to select(), and overriders must
+  /// make the two spellings draw identically.
+  virtual void select_into(const Configuration& config,
+                           const std::vector<std::vector<Action>>& enabled,
+                           std::vector<RobotAction>& out) {
+    out = select(config, enabled);
+  }
   virtual std::string name() const = 0;
 };
 
@@ -32,10 +48,15 @@ class FsyncScheduler final : public SyncScheduler {
   explicit FsyncScheduler(unsigned seed = 0, bool randomize_choice = false);
   std::vector<RobotAction> select(const Configuration&,
                                   const std::vector<std::vector<Action>>&) override;
+  void select_into(const Configuration&, const std::vector<std::vector<Action>>&,
+                   std::vector<RobotAction>& out) override;
   std::string name() const override { return "fsync"; }
 
  private:
-  std::mt19937 rng_;
+  /// Seeded only when randomize_choice: mt19937 construction writes ~2500
+  /// words — a measurable share of a whole micro-run — and the default
+  /// first-behavior FSYNC adversary never draws from it.
+  std::optional<std::mt19937> rng_;
   bool randomize_choice_;
 };
 
@@ -46,10 +67,13 @@ class SsyncRandomScheduler final : public SyncScheduler {
   explicit SsyncRandomScheduler(unsigned seed);
   std::vector<RobotAction> select(const Configuration&,
                                   const std::vector<std::vector<Action>>&) override;
+  void select_into(const Configuration&, const std::vector<std::vector<Action>>&,
+                   std::vector<RobotAction>& out) override;
   std::string name() const override { return "ssync-random"; }
 
  private:
   std::mt19937 rng_;
+  std::vector<int> candidates_;  ///< per-instant scratch, reused across calls
 };
 
 /// SSYNC: activates exactly one enabled robot per instant, rotating through
@@ -59,6 +83,8 @@ class SsyncRoundRobinScheduler final : public SyncScheduler {
   SsyncRoundRobinScheduler() = default;
   std::vector<RobotAction> select(const Configuration&,
                                   const std::vector<std::vector<Action>>&) override;
+  void select_into(const Configuration&, const std::vector<std::vector<Action>>&,
+                   std::vector<RobotAction>& out) override;
   std::string name() const override { return "ssync-round-robin"; }
 
  private:

@@ -129,7 +129,7 @@ class Topology {
   /// The plain family takes the seed Grid's exact bounds-check + row-major
   /// index behind one precomputed flag — the snapshot hot path must not pay
   /// for wraparound or wall masks it doesn't have (bench_campaign gates the
-  /// overhead at 5%).
+  /// overhead at 20%).
   int canonical_index(Vec v) const {
     if (plain_) {
       return v.row >= 0 && v.row < rows_ && v.col >= 0 && v.col < cols_

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "src/core/configuration.hpp"
+#include "src/topo/topology.hpp"
 
 namespace lumi {
 namespace {
@@ -73,6 +77,33 @@ TEST(Configuration, MoveValidatesAdjacency) {
   EXPECT_EQ(c.robot(0).pos, (Vec{0, 1}));
   EXPECT_THROW(c.move_robot(0, {1, 2}), std::logic_error);   // not adjacent
   EXPECT_THROW(c.move_robot(0, {-1, 1}), std::logic_error);  // off grid
+}
+
+TEST(Configuration, SteppedMoveMatchesValidatedMove) {
+  // The engines apply moves through move_robot_stepped with targets produced
+  // by Topology::step; this pins it to the validated move_robot — same
+  // position, occupancy, and journal — on a bounded grid and across a torus
+  // seam (where the canonical target differs from from+dir).
+  for (const std::string& spec : {std::string("grid"), std::string("torus")}) {
+    const Topology topo = make_topology(spec, 2, 3);
+    Configuration a(topo, {Robot{{0, 0}, Color::G}, Robot{{1, 2}, Color::W}});
+    Configuration b = a;
+    a.set_journal(true);
+    b.set_journal(true);
+    for (const auto& [robot, dir] : std::initializer_list<std::pair<int, Dir>>{
+             {0, Dir::East}, {1, Dir::East}, {0, Dir::South}, {1, Dir::North}}) {
+      const std::optional<Vec> to = topo.step(a.robot(robot).pos, dir);
+      if (!to) continue;  // bounded edge on the plain grid leg
+      a.move_robot(robot, *to);
+      b.move_robot_stepped(robot, *to);
+      EXPECT_EQ(a.robot(robot).pos, b.robot(robot).pos) << spec;
+      EXPECT_TRUE(a.same_placement(b)) << spec;
+      ASSERT_EQ(a.journal().size(), b.journal().size()) << spec;
+      for (std::size_t i = 0; i < a.journal().size(); ++i) {
+        EXPECT_EQ(a.journal()[i], b.journal()[i]) << spec;
+      }
+    }
+  }
 }
 
 TEST(Configuration, SamePlacementIgnoresRobotIdentity) {
