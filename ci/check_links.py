@@ -9,6 +9,13 @@ GitHub's anchor rules (lowercase, punctuation stripped, spaces to dashes).
 
 Exit status 0 when every link resolves, 1 otherwise (each failure printed).
 Stdlib only; run from anywhere: paths are anchored at the repo root.
+
+`--self-test` runs the checker against the fixture docs under
+ci/fixtures/check_links/ — one document per failure mode (missing file, bad
+anchor, fragment on a non-Markdown target, duplicate-heading suffixes) plus
+a clean document — and verifies each produces exactly the expected verdict.
+The fixture suite is wired as a ctest entry, so the checker's own rules are
+part of tier-1.
 """
 
 import re
@@ -71,7 +78,45 @@ def check(doc: Path) -> list[str]:
     return errors
 
 
+def self_test() -> int:
+    """Pins the checker's verdicts on the fixture docs, exactly."""
+    fixtures = REPO / "ci" / "fixtures" / "check_links"
+    failures: list[str] = []
+
+    def expect(name: str, wanted: list[str]) -> None:
+        doc = fixtures / name
+        if not doc.is_file():
+            failures.append(f"missing fixture {name}")
+            return
+        got = check(doc)
+        if len(got) != len(wanted):
+            failures.append(f"{name}: expected {len(wanted)} errors, got {len(got)}: {got}")
+            return
+        for marker, err in zip(wanted, got):
+            if marker not in err:
+                failures.append(f"{name}: expected error containing '{marker}', got '{err}'")
+
+    # Every link and anchor style we accept, including code/punctuation
+    # stripping and the -1 suffix GitHub appends to a duplicated heading.
+    expect("good.md", [])
+    expect(
+        "bad.md",
+        [
+            "broken link 'nope.md'",
+            "no heading for anchor '#no-such-heading'",
+            "fragment on non-Markdown target 'sub/data.txt#frag'",
+            "no heading for anchor '#other-heading-2'",
+        ],
+    )
+    for f in failures:
+        print(f"self-test: {f}", file=sys.stderr)
+    print(f"check_links self-test: {len(failures)} failures")
+    return 1 if failures else 0
+
+
 def main() -> int:
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
     docs = sorted({p for g in DOC_GLOBS for p in REPO.glob(g) if p.is_file()})
     if not docs:
         print("check_links: no documents found", file=sys.stderr)

@@ -34,6 +34,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Round-robin placement hint only: no memory is published under this
+  // counter, any interleaving just spreads tasks differently.
+  // lumi-lint: allow(relaxed-atomic)
   const std::size_t target = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   // The stop_ check, push and notify all happen under mu_: the destructor
   // sets stop_ under the same lock, so a task can never slip into the queues
@@ -42,6 +45,9 @@ void ThreadPool::submit(std::function<void()> task) {
   // miss both the push and the notify and sleep forever.
   std::lock_guard lock(mu_);
   if (stop_) throw std::logic_error("ThreadPool::submit: pool is shutting down");
+  // The increment happens under mu_ before the task is visible in any deque;
+  // the release side of the counter is the acq_rel fetch_sub in worker_loop.
+  // lumi-lint: allow(relaxed-atomic)
   pending_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard qlock(queues_[target]->mu);

@@ -96,7 +96,7 @@ void parse_rule(const std::vector<std::string>& tokens, int line, Algorithm& alg
     rule.cells.emplace_back(offset, pattern);
   }
   if (i + 1 >= tokens.size() || tokens[i] != "->") fail(line, "missing '->' action");
-  const std::string action = tokens[i + 1];
+  const std::string& action = tokens[i + 1];
   const std::size_t comma = action.find(',');
   if (comma == std::string::npos) fail(line, "action must be <color>,<move>");
   rule.new_color = parse_color(action.substr(0, comma), line);

@@ -5,7 +5,7 @@
 namespace lumi {
 
 namespace {
-Action random_action(std::mt19937& rng, const std::vector<Action>& choices) {
+Action random_action(rng::Engine& rng, const std::vector<Action>& choices) {
   return choices[bounded_draw(rng, static_cast<std::uint32_t>(choices.size()))];
 }
 }  // namespace

@@ -2,10 +2,10 @@
 // fires and resolve multi-behavior Look choices.
 #pragma once
 
-#include <random>
 #include <string>
 #include <vector>
 
+#include "src/core/rng.hpp"
 #include "src/engine/async_engine.hpp"
 
 namespace lumi {
@@ -30,7 +30,7 @@ class AsyncRandomScheduler final : public AsyncScheduler {
   std::string name() const override { return "async-random"; }
 
  private:
-  std::mt19937 rng_;
+  rng::Engine rng_;
 };
 
 /// Centralized: runs each started cycle to completion before any other robot
@@ -58,7 +58,7 @@ class AsyncStaleStressScheduler final : public AsyncScheduler {
   std::string name() const override { return "async-stale-stress"; }
 
  private:
-  std::mt19937 rng_;
+  rng::Engine rng_;
 };
 
 }  // namespace lumi

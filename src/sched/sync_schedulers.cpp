@@ -5,7 +5,7 @@
 namespace lumi {
 
 namespace {
-Action pick_action(std::mt19937& rng, bool randomize, const std::vector<Action>& actions) {
+Action pick_action(rng::Engine& rng, bool randomize, const std::vector<Action>& actions) {
   if (!randomize || actions.size() == 1) return actions.front();
   return actions[bounded_draw(rng, static_cast<std::uint32_t>(actions.size()))];
 }

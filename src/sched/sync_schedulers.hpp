@@ -7,9 +7,9 @@
 
 #include <memory>
 #include <optional>
-#include <random>
 #include <vector>
 
+#include "src/core/rng.hpp"
 #include "src/engine/sync_engine.hpp"
 
 namespace lumi {
@@ -53,10 +53,10 @@ class FsyncScheduler final : public SyncScheduler {
   std::string name() const override { return "fsync"; }
 
  private:
-  /// Seeded only when randomize_choice: mt19937 construction writes ~2500
+  /// Seeded only when randomize_choice: engine construction writes ~2500
   /// words — a measurable share of a whole micro-run — and the default
   /// first-behavior FSYNC adversary never draws from it.
-  std::optional<std::mt19937> rng_;
+  std::optional<rng::Engine> rng_;
   bool randomize_choice_;
 };
 
@@ -72,7 +72,7 @@ class SsyncRandomScheduler final : public SyncScheduler {
   std::string name() const override { return "ssync-random"; }
 
  private:
-  std::mt19937 rng_;
+  rng::Engine rng_;
   std::vector<int> candidates_;  ///< per-instant scratch, reused across calls
 };
 

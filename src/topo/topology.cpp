@@ -142,7 +142,7 @@ Topology Topology::obstacles(int rows, int cols, int percent, unsigned seed) {
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
     // Derived per-attempt seed, so rejection and retry stay deterministic in
     // (rows, cols, percent, seed) across platforms (in-repo Fisher-Yates).
-    std::mt19937 rng(seed + 0x9e3779b9u * static_cast<unsigned>(attempt));
+    rng::Engine rng(seed + 0x9e3779b9u * static_cast<unsigned>(attempt));
     std::vector<int> cells = eligible;
     fisher_yates(cells, rng);
     std::vector<std::uint8_t> wall(size, 0);

@@ -1,0 +1,112 @@
+// Contention stress for the work-stealing pool: many external submitters,
+// tasks that fan out nested work from inside workers (the steal path), and
+// shutdown racing a full queue.  These tests exist to give ThreadSanitizer
+// (the `tsan` CI leg / `cmake --preset tsan`) real interleavings to chew on;
+// they assert only the pool's contracts — every task runs exactly once,
+// wait_idle really waits, the destructor drains — so they pass identically
+// under the plain build.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/campaign/thread_pool.hpp"
+
+namespace lumi {
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentSubmittersEveryTaskRunsOnce) {
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 250;
+  ThreadPool pool(4);
+  std::atomic<long> ran{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &ran] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.submit([&ran] { ran.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), static_cast<long>(kSubmitters) * kTasksEach);
+}
+
+TEST(ThreadPoolStress, NestedSubmissionFromWorkersExercisesStealing) {
+  // Each root task fans out children from inside a worker; children land on
+  // the submitting worker's round-robin targets, so siblings must steal to
+  // finish.  wait_idle must cover work submitted while it is being awaited.
+  constexpr int kRoots = 64;
+  constexpr int kChildren = 16;
+  ThreadPool pool(4);
+  std::atomic<long> ran{0};
+  for (int r = 0; r < kRoots; ++r) {
+    pool.submit([&pool, &ran] {
+      for (int c = 0; c < kChildren; ++c) {
+        pool.submit([&ran] { ran.fetch_add(1); });
+      }
+      ran.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), static_cast<long>(kRoots) * (kChildren + 1));
+}
+
+TEST(ThreadPoolStress, ShutdownUnderLoadDrainsEverything) {
+  // Destroy the pool the moment the last task is enqueued: the destructor's
+  // contract is that nothing already submitted is dropped.
+  constexpr int kTasks = 500;
+  std::atomic<long> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolStress, RepeatedCreateDestroyChurn) {
+  // Pool lifetime churn under load: worker start/join races with submission
+  // bursts.  Single-digit pools keep this fast even under TSan.
+  std::atomic<long> ran{0};
+  long expected = 0;
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(2);
+    const int tasks = 10 + round;
+    expected += tasks;
+    for (int i = 0; i < tasks; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    if (round % 2 == 0) pool.wait_idle();  // alternate: destructor drains
+  }
+  EXPECT_EQ(ran.load(), expected);
+}
+
+TEST(ThreadPoolStress, WaitIdleFromManyThreads) {
+  // wait_idle is called concurrently from several externals while workers
+  // run; all must wake, and all work must be visible to each of them after
+  // the wake (the acquire load pairs with the workers' acq_rel decrement).
+  ThreadPool pool(4);
+  std::atomic<long> ran{0};
+  for (int i = 0; i < 400; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  std::vector<std::thread> waiters;
+  waiters.reserve(4);
+  for (int w = 0; w < 4; ++w) {
+    waiters.emplace_back([&pool, &ran] {
+      pool.wait_idle();
+      EXPECT_GE(ran.load(), 400);
+    });
+  }
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(ran.load(), 400);
+}
+
+}  // namespace
+}  // namespace lumi

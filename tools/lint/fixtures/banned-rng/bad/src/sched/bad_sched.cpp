@@ -1,0 +1,6 @@
+// Fixture: raw distribution in a scheduler — the exact bug PR 4 banished.
+#include <random>
+int pick(std::mt19937& rng, int n) {
+  std::uniform_int_distribution<int> d(0, n - 1);
+  return d(rng);
+}

@@ -1,0 +1,4 @@
+// Fixture: the one file allowed to name the raw engine.
+#pragma once
+#include <random>
+namespace lumi::rng { using Engine = std::mt19937; }

@@ -1,0 +1,4 @@
+// Fixture: decisions drawn through the in-repo helpers; the engine type is
+// referenced via the rng.hpp alias, never spelled raw here.
+#include "src/core/rng.hpp"
+unsigned pick(lumi::rng::Engine& rng, unsigned n) { return lumi::bounded_draw(rng, n); }

@@ -1,0 +1,7 @@
+// Fixture: a float field in a mergeable accumulator — partial sums would
+// merge to different bytes depending on stealing order.
+#pragma once
+struct CellAccumulator {
+  long runs = 0;
+  double mean_cache = 0.0;
+};

@@ -1,0 +1,8 @@
+// Fixture: exact-integer state; floating-point statistics are derived at
+// render time from the exact sums (functions, not fields).
+#pragma once
+struct CellAccumulator {
+  long runs = 0;
+  long long sum = 0;
+  double mean() const { return runs == 0 ? 0.0 : static_cast<double>(sum) / runs; }
+};

@@ -1,0 +1,4 @@
+// Fixture: relaxed ordering with no justification comment.
+#include <atomic>
+std::atomic<long> g_hits{0};
+void hit() { g_hits.fetch_add(1, std::memory_order_relaxed); }

@@ -1,0 +1,8 @@
+// Fixture: relaxed ordering carrying its proof.
+#include <atomic>
+std::atomic<long> g_hits{0};
+void hit() {
+  // Pure statistics counter: no other memory is published under this
+  // increment, so ordering is irrelevant.  lumi-lint: allow(relaxed-atomic)
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,6 @@
+// Fixture: a detached thread can outlive the state it touches.
+#include <thread>
+void fire_and_forget(void (*fn)()) {
+  std::thread t(fn);
+  t.detach();
+}

@@ -1,0 +1,6 @@
+// Fixture: scoped ownership; the thread is always joined.
+#include <thread>
+void run_joined(void (*fn)()) {
+  std::thread t(fn);
+  t.join();
+}

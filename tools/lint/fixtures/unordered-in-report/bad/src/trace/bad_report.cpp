@@ -1,0 +1,8 @@
+// Fixture: hash-order iteration feeding a report — bytes differ per platform.
+#include <string>
+#include <unordered_map>
+std::string render(const std::unordered_map<std::string, long>& cells) {
+  std::string out;
+  for (const auto& [k, v] : cells) out += k + "=" + std::to_string(v) + "\n";
+  return out;
+}

@@ -1,0 +1,9 @@
+// Fixture: keyed-lookup-only use, documented and allowed explicitly.
+#include <string>
+#include <unordered_map>  // lumi-lint: allow(unordered-in-report)
+// Pure point lookups; nothing iterates this map, so report bytes cannot
+// depend on its hash order.  lumi-lint: allow(unordered-in-report)
+long lookup(const std::unordered_map<std::string, long>& idx, const std::string& k) {
+  auto it = idx.find(k);
+  return it == idx.end() ? -1 : it->second;
+}

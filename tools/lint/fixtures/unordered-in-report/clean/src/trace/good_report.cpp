@@ -1,0 +1,8 @@
+// Fixture: ordered container — iteration order is the key order everywhere.
+#include <map>
+#include <string>
+std::string render(const std::map<std::string, long>& cells) {
+  std::string out;
+  for (const auto& [k, v] : cells) out += k + "=" + std::to_string(v) + "\n";
+  return out;
+}

@@ -1,0 +1,4 @@
+// Fixture: volatile provides neither atomicity nor ordering.
+volatile bool g_stop = false;
+void request_stop() { g_stop = true; }
+bool stopping() { return g_stop; }

@@ -1,0 +1,3 @@
+// Fixture: optimizer barrier in a bench — out of the rule's src/ scope.
+volatile int sink = 0;
+void consume(int v) { sink = v; }

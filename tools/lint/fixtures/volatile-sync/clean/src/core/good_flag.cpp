@@ -1,0 +1,5 @@
+// Fixture: a real synchronization primitive.
+#include <atomic>
+std::atomic<bool> g_stop{false};
+void request_stop() { g_stop.store(true); }
+bool stopping() { return g_stop.load(); }

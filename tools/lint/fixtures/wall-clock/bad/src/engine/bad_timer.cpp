@@ -1,0 +1,5 @@
+// Fixture: a clock read in an engine — time must never shape results.
+#include <chrono>
+long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

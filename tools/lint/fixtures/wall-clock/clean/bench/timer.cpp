@@ -1,0 +1,3 @@
+// Fixture: benches time things; the rule scopes to src/ by path.
+#include <chrono>
+long tick() { return std::chrono::steady_clock::now().time_since_epoch().count(); }

@@ -1,0 +1,8 @@
+// Fixture: wall-time diagnostic that never reaches checkpoints or merged
+// reports, carrying the required justification.
+#include <chrono>
+double wall_seconds_since(std::chrono::steady_clock::time_point start) {
+  // Execution-environment diagnostic only (dropped from merged output).
+  // lumi-lint: allow(wall-clock)
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Runs the repo's curated clang-tidy baseline (.clang-tidy) over src/.
+
+CI keeps the tree tidy-clean: any finding fails the `lint` job, so the
+finding count is pinned at zero and can never regress.  Local containers do
+not always ship clang-tidy — `--allow-missing` turns an absent binary into
+a skip (exit 0, with a notice) instead of a failure, which is what the
+developer-facing ctest entry would want; CI omits the flag so a runner
+without clang-tidy fails loudly rather than silently skipping the gate.
+
+Needs build/compile_commands.json (CMakeLists.txt exports it on every
+configure).  Stdlib only.
+
+Usage: run_clang_tidy.py [--build-dir DIR] [--allow-missing] [-j N] [paths...]
+Exit status: 0 clean/skipped, 1 findings, 2 setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def find_clang_tidy() -> str | None:
+    explicit = os.environ.get("CLANG_TIDY")
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ("clang-tidy", "clang-tidy-19", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(prog="run_clang_tidy.py")
+    ap.add_argument("--build-dir", default="build", help="dir holding compile_commands.json")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="exit 0 (skip) when clang-tidy is not installed")
+    ap.add_argument("-j", type=int, default=os.cpu_count() or 1)
+    ap.add_argument("paths", nargs="*", help="sources (default: src/**/*.cpp)")
+    args = ap.parse_args(argv)
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        if args.allow_missing:
+            print("run_clang_tidy: clang-tidy not installed — skipping (allowed)")
+            return 0
+        print("run_clang_tidy: clang-tidy not found (set CLANG_TIDY or install it)",
+              file=sys.stderr)
+        return 2
+
+    build = (ROOT / args.build_dir).resolve()
+    if not (build / "compile_commands.json").is_file():
+        print(f"run_clang_tidy: {build}/compile_commands.json missing — configure first "
+              "(cmake -B build -S . exports it)", file=sys.stderr)
+        return 2
+
+    sources = ([Path(p).resolve() for p in args.paths]
+               if args.paths else sorted((ROOT / "src").rglob("*.cpp")))
+    if not sources:
+        print("run_clang_tidy: no sources", file=sys.stderr)
+        return 2
+
+    # clang-tidy is single-file; fan out one process per source, -j at a time.
+    failures: list[str] = []
+    pending = [str(s) for s in sources]
+    running: list[tuple[str, subprocess.Popen]] = []
+
+    def reap(block: bool) -> None:
+        for src, proc in running[:]:
+            if block or proc.poll() is not None:
+                out, _ = proc.communicate()
+                if proc.returncode != 0:
+                    failures.append(src)
+                    sys.stderr.write(out)
+                running.remove((src, proc))
+
+    while pending or running:
+        while pending and len(running) < max(1, args.j):
+            src = pending.pop(0)
+            running.append((src, subprocess.Popen(
+                [tidy, "-p", str(build), "--quiet", src],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)))
+        reap(block=len(running) >= max(1, args.j) or not pending)
+
+    print(f"run_clang_tidy: {len(sources)} files, {len(failures)} with findings")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
