@@ -4,10 +4,12 @@
 // holes, obstacles) and the plain-grid Topology-abstraction overhead against
 // a seed-grid replica.  Exits nonzero if the parallel run produces a
 // different merged summary than the single-threaded one (the determinism
-// contract), if the shard merge is not byte-identical to the direct run, or
-// if the plain-grid snapshot path costs more than 20% over the seed replica
+// contract), if the shard merge is not byte-identical to the direct run, if
+// the plain-grid snapshot path costs more than 20% over the seed replica
 // (a per-cell topology dispatch regression reads 2-3x; the budget leaves
-// room for the fixed per-call dispatch the replica doesn't pay).
+// room for the fixed per-call dispatch the replica doesn't pay), or if
+// running with telemetry fully enabled (metrics registry + trace spans)
+// costs more than 3% of jobs/s over the disabled default.
 //
 // Usage: bench_campaign [--large] [--json PATH]
 // --json writes the measured rates as machine-readable JSON (the campaign
@@ -26,6 +28,8 @@
 #include "src/campaign/shard.hpp"
 #include "src/campaign/thread_pool.hpp"
 #include "src/core/view.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace_event.hpp"
 #include "src/topo/topology.hpp"
 #include "src/trace/report.hpp"
 
@@ -186,6 +190,7 @@ SnapshotOverhead measure_snapshot_overhead() {
 
 int main(int argc, char** argv) {
   using namespace lumi::campaign;
+  namespace obs = lumi::obs;
 
   Matrix matrix;
   matrix.sections = paper_sections();
@@ -421,8 +426,89 @@ int main(int argc, char** argv) {
   std::printf("  snapshot: topology %.1f ns vs seed replica %.1f ns (%.3fx)\n",
               overhead.topology_ns, overhead.reference_ns, overhead.ratio());
 
+  // --- telemetry overhead and observed summaries ----------------------------
+  // The metrics registry and trace spans are compiled into the hot paths
+  // (disabled = a relaxed load plus branch per record, a thread_local null
+  // check per span), so leaving them ENABLED must stay near-free too.  Same
+  // paired methodology as the batch gate: each pass runs the disabled leg
+  // immediately followed by the fully-enabled leg (registry on + a trace
+  // writer installed, buffering in memory) on the micro matrix; an attempt
+  // takes the median per-pass ratio, and an attempt below the floor is
+  // re-measured (twice at most).  The floor pins telemetry-enabled jobs/s
+  // within 3% of disabled.  Summaries must stay identical — telemetry
+  // observes results, never feeds them (the obs-isolation lint fences the
+  // report/checkpoint serializers themselves).
+  obs::Registry& registry = obs::Registry::global();
+  double telemetry_ratio = 0.0;
+  bool telemetry_summaries_match = true;
+  for (int attempt = 0; attempt < 3 && telemetry_ratio < 0.97; ++attempt) {
+    std::vector<double> ratios;
+    ratios.reserve(9);
+    for (int pass = 0; pass < 9; ++pass) {
+      registry.set_enabled(false);
+      const CampaignSummary off = run_campaign(micro_expansion, 1, 0);
+      registry.reset();
+      registry.set_enabled(true);
+      {
+        lumi::obs::TraceWriter trace("bench_campaign.trace.json");  // never flushed
+        lumi::obs::TraceWriter::install(&trace);
+        const CampaignSummary on = run_campaign(micro_expansion, 1, 0);
+        lumi::obs::TraceWriter::install(nullptr);
+        telemetry_summaries_match = telemetry_summaries_match && same_summary(off, on);
+        ratios.push_back(off.wall_seconds / on.wall_seconds);
+      }
+      registry.set_enabled(false);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    const double median = ratios[ratios.size() / 2];
+    if (median > telemetry_ratio) telemetry_ratio = median;
+    if (telemetry_ratio < 0.97) {
+      std::printf("  telemetry median %.3fx below the floor; re-measuring\n", telemetry_ratio);
+    }
+  }
+  registry.reset();
+  std::printf("  telemetry-enabled micro throughput: %.3fx of disabled\n", telemetry_ratio);
+  if (!telemetry_summaries_match) {
+    std::printf("FAIL: summaries differ with telemetry on vs off\n");
+    return 1;
+  }
+  std::printf("summaries identical with telemetry on and off: yes\n");
+
+  // Observed telemetry for the JSON artifact: one parallel campaign for the
+  // work-stealing picture, one orchestrated run at the fastest flush
+  // interval for checkpoint-flush latency as the flusher actually sees it.
+  registry.set_enabled(true);
+  run_campaign(expansion, 0);
+  const obs::MetricsSnapshot pool_snap = registry.snapshot();
+  const long long pool_executed = pool_snap.counter_prefix_sum("pool.worker.", ".executed");
+  const long long pool_stolen = pool_snap.counter_prefix_sum("pool.worker.", ".stolen");
+  const double pool_steal_share =
+      pool_executed > 0 ? static_cast<double>(pool_stolen) / static_cast<double>(pool_executed)
+                        : 0.0;
+  registry.reset();
+
+  OrchestratorOptions obs_opts;
+  obs_opts.checkpoint_path = "bench_campaign.obs.ckpt";
+  obs_opts.flush_seconds = 0.01;  // the flusher's clamp floor: flush eagerly
+  run_orchestrated(expansion, obs_opts);
+  std::remove(obs_opts.checkpoint_path.c_str());
+  const obs::MetricsSnapshot flush_snap = registry.snapshot();
+  const long long flush_count = flush_snap.counter_or("orchestrate.checkpoint_flushes");
+  long long flush_ms_sum = 0;
+  for (const obs::HistogramValue& h : flush_snap.histograms) {
+    if (h.name == "orchestrate.flush_ms") flush_ms_sum = h.sum;
+  }
+  const double flush_ms_mean =
+      flush_count > 0 ? static_cast<double>(flush_ms_sum) / static_cast<double>(flush_count)
+                      : 0.0;
+  registry.set_enabled(false);
+  registry.reset();
+  std::printf("  pool steals: %lld of %lld tasks (%.1f%%)\n", pool_stolen, pool_executed,
+              100.0 * pool_steal_share);
+  std::printf("  checkpoint flushes: %lld, mean %.1f ms\n", flush_count, flush_ms_mean);
+
   if (!json_path.empty()) {
-    char json[2048];
+    char json[3072];
     std::snprintf(json, sizeof(json),
                   "{\n"
                   "  \"jobs\": %zu,\n"
@@ -446,7 +532,13 @@ int main(int argc, char** argv) {
                   "  \"topo_obstacles_jobs_per_sec\": %.1f,\n"
                   "  \"grid_topology_snapshot_ns\": %.1f,\n"
                   "  \"grid_reference_snapshot_ns\": %.1f,\n"
-                  "  \"grid_topology_overhead\": %.3f\n"
+                  "  \"grid_topology_overhead\": %.3f,\n"
+                  "  \"telemetry_enabled_ratio\": %.3f,\n"
+                  "  \"pool_tasks_executed\": %lld,\n"
+                  "  \"pool_tasks_stolen\": %lld,\n"
+                  "  \"pool_steal_share\": %.3f,\n"
+                  "  \"checkpoint_flush_count\": %lld,\n"
+                  "  \"checkpoint_flush_ms_mean\": %.3f\n"
                   "}\n",
                   parallel.jobs, parallel.threads, micro_per_job_rate, micro_batched_rate,
                   batch_speedup, arena_high_water, recompute_rate, single_rate,
@@ -454,7 +546,9 @@ int main(int argc, char** argv) {
                   base.checkpoint.cells.size(), checkpoint_write_ms, kShards, shard_merge_ms,
                   topo_rates[0].jobs_per_sec, topo_rates[1].jobs_per_sec,
                   topo_rates[2].jobs_per_sec, topo_rates[3].jobs_per_sec,
-                  overhead.topology_ns, overhead.reference_ns, overhead.ratio());
+                  overhead.topology_ns, overhead.reference_ns, overhead.ratio(),
+                  telemetry_ratio, pool_executed, pool_stolen, pool_steal_share, flush_count,
+                  flush_ms_mean);
     if (!lumi::write_text_file(json_path, json)) {
       std::printf("FAIL: cannot write %s\n", json_path.c_str());
       return 1;
@@ -485,5 +579,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("plain-grid Topology overhead within the 20%% budget: yes\n");
+  if (telemetry_ratio < 0.97) {
+    std::printf("FAIL: telemetry-enabled micro throughput below 97%% of disabled (%.3fx)\n",
+                telemetry_ratio);
+    return 1;
+  }
+  std::printf("telemetry-enabled throughput within the 3%% budget: yes\n");
   return 0;
 }

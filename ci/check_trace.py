@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validates Chrome trace_event JSON emitted by --trace-out.
+
+Checks, per file:
+  - the document parses as JSON and is an object with a "traceEvents" list;
+  - every event is a complete ("ph":"X") event carrying name, cat, ts, dur,
+    pid and tid with the right types, ts and dur non-negative;
+  - spans nest per tid: two events on the same thread either do not overlap
+    in time or one fully contains the other.  Partial overlap means a span
+    outlived its enclosing scope — with RAII spans that is a bug, and
+    chrome://tracing renders it as garbage.
+
+Exit status 0 when every file passes, 1 otherwise (each failure printed).
+Stdlib only; paths are taken as given (the e2e harness passes temp files).
+
+`--self-test` runs the checker against ci/fixtures/check_trace/ — one file
+per failure mode plus a clean one — and pins each verdict, mirroring
+ci/check_links.py.  The fixture suite is wired as a ctest entry.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+REQUIRED = {"name": str, "cat": str, "ph": str, "ts": int, "dur": int, "pid": int, "tid": int}
+
+
+def check(path: Path) -> list[str]:
+    where = str(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as err:
+        return [f"{where}: not valid JSON ({err})"]
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return [f"{where}: top level must be an object with a 'traceEvents' list"]
+    errors: list[str] = []
+    by_tid: dict[int, list[tuple[int, int, str]]] = {}
+    for i, e in enumerate(doc["traceEvents"]):
+        if not isinstance(e, dict):
+            errors.append(f"{where}: event {i} is not an object")
+            continue
+        bad = False
+        for key, typ in REQUIRED.items():
+            # bool is an int subclass in Python; reject it explicitly.
+            if not isinstance(e.get(key), typ) or isinstance(e.get(key), bool):
+                errors.append(f"{where}: event {i} missing or mistyped '{key}'")
+                bad = True
+        if bad:
+            continue
+        if e["ph"] != "X":
+            errors.append(f"{where}: event {i} has ph '{e['ph']}', expected complete 'X'")
+            continue
+        if e["ts"] < 0 or e["dur"] < 0:
+            errors.append(f"{where}: event {i} has negative ts or dur")
+            continue
+        by_tid.setdefault(e["tid"], []).append((e["ts"], e["ts"] + e["dur"], e["name"]))
+    for tid, spans in sorted(by_tid.items()):
+        # Sorted by start (longest first on ties), a well-nested sequence
+        # behaves like matched brackets against a stack of open intervals.
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: list[tuple[int, int, str]] = []
+        for start, end, name in spans:
+            while stack and stack[-1][1] <= start:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                errors.append(
+                    f"{where}: tid {tid}: span '{name}' [{start},{end}) partially "
+                    f"overlaps '{stack[-1][2]}' [{stack[-1][0]},{stack[-1][1]})"
+                )
+                continue
+            stack.append((start, end, name))
+    return errors
+
+
+def self_test() -> int:
+    """Pins the checker's verdicts on the fixture traces, exactly."""
+    fixtures = REPO / "ci" / "fixtures" / "check_trace"
+    failures: list[str] = []
+
+    def expect(name: str, wanted: list[str]) -> None:
+        trace = fixtures / name
+        if not trace.is_file():
+            failures.append(f"missing fixture {name}")
+            return
+        got = check(trace)
+        if len(got) != len(wanted):
+            failures.append(f"{name}: expected {len(wanted)} errors, got {len(got)}: {got}")
+            return
+        for marker, err in zip(wanted, got):
+            if marker not in err:
+                failures.append(f"{name}: expected error containing '{marker}', got '{err}'")
+
+    expect("good.json", [])
+    expect("bad_syntax.json", ["not valid JSON"])
+    expect("bad_shape.json", ["'traceEvents' list"])
+    expect("bad_fields.json", ["missing or mistyped 'dur'"])
+    expect("bad_phase.json", ["expected complete 'X'"])
+    expect("bad_overlap.json", ["partially overlaps"])
+    for f in failures:
+        print(f"self-test: {f}", file=sys.stderr)
+    print(f"check_trace self-test: {len(failures)} failures")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if "--self-test" in args:
+        return self_test()
+    if not args:
+        print("usage: check_trace.py [--self-test] TRACE.json...", file=sys.stderr)
+        return 2
+    failures: list[str] = []
+    for name in args:
+        failures += check(Path(name))
+    for f in failures:
+        print(f, file=sys.stderr)
+    print(f"check_trace: {len(args)} files, {len(failures)} problems")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

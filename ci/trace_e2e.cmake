@@ -1,0 +1,50 @@
+# End-to-end telemetry check, run as a ctest entry (cmake -P):
+#   1. drives campaign_cli with --trace-out/--metrics-out on a small matrix,
+#   2. validates the emitted trace with ci/check_trace.py (JSON shape,
+#      complete events, per-thread span nesting),
+#   3. validates the metrics file against the documented schema marker
+#      (lumi_metrics = 1) by round-tripping it through python json.
+#
+# Expected -D definitions: CLI (campaign_cli binary), PYTHON (interpreter),
+# CHECKER (ci/check_trace.py), OUT_DIR (scratch directory).
+foreach(var CLI PYTHON CHECKER OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "trace_e2e: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(trace "${OUT_DIR}/trace.json")
+set(metrics "${OUT_DIR}/metrics.json")
+
+execute_process(
+  COMMAND "${CLI}" --sections=4.2.1,4.3.1 --rows=4..6:2 --cols=4..6:2 --seeds=2
+          --threads=2 --quiet "--trace-out=${trace}" "--metrics-out=${metrics}"
+  RESULT_VARIABLE run_rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "trace_e2e: campaign_cli failed (${run_rc}):\n${run_out}\n${run_err}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${trace}"
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "trace_e2e: trace validation failed:\n${check_out}\n${check_err}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" -c "import json,sys; d=json.load(open(sys.argv[1])); \
+sys.exit(0 if d.get('lumi_metrics')==1 and d['counters'].get('campaign.jobs_done',0)>0 \
+and 'gauges' in d and 'histograms' in d else 1)" "${metrics}"
+  RESULT_VARIABLE m_rc
+  OUTPUT_VARIABLE m_out
+  ERROR_VARIABLE m_err)
+if(NOT m_rc EQUAL 0)
+  message(FATAL_ERROR "trace_e2e: metrics schema check failed:\n${m_out}\n${m_err}")
+endif()
+
+message(STATUS "trace_e2e: trace and metrics outputs validated")

@@ -14,12 +14,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/campaign/campaign.hpp"
 #include "src/campaign/orchestrate.hpp"
 #include "src/campaign/shard.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/progress.hpp"
+#include "src/obs/trace_event.hpp"
 #include "src/topo/topology.hpp"
 #include "src/trace/report.hpp"
 
@@ -39,6 +43,9 @@ struct Args {
   long max_steps = 1'000'000;
   std::string csv_path;
   std::string json_path;
+  std::string metrics_path;  ///< telemetry snapshot JSON (docs/FORMATS.md#metrics-json)
+  std::string trace_path;    ///< Chrome trace_event JSON (chrome://tracing, Perfetto)
+  bool progress = false;     ///< force the live meter even when stderr is not a TTY
   bool quiet = false;
   campaign::ShardSpec shard;  ///< default 0/1: the whole matrix
   std::string checkpoint_path;
@@ -85,6 +92,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       const std::size_t len = std::strlen(key);
       return arg.compare(0, len, key) == 0 ? arg.c_str() + len : nullptr;
     };
+    // Every rejection names the offending flag: "which argument was wrong"
+    // must never require re-reading the usage text.
+    auto bad_value = [&arg]() {
+      std::fprintf(stderr, "bad value in '%s'\n", arg.c_str());
+      return false;
+    };
     if (const char* v = value("--sections=")) {
       args.sections = v;
     } else if (const char* v = value("--scheds=")) {
@@ -97,31 +110,35 @@ bool parse_args(int argc, char** argv, Args& args) {
       if (!parse_range(v, args.cols)) return false;
     } else if (const char* v = value("--seeds=")) {
       args.seeds = std::atoi(v);
-      if (args.seeds < 1) return false;
+      if (args.seeds < 1) return bad_value();
     } else if (const char* v = value("--threads=")) {
       args.threads = static_cast<unsigned>(std::atoi(v));
     } else if (const char* v = value("--batch=")) {
       // 0 = automatic per-cell sizing; 1 = the per-job reference path.
       // Reports are byte-identical at any value — this is a perf knob only.
       const long b = std::atol(v);
-      if (b < 0) return false;
+      if (b < 0) return bad_value();
       args.batch = static_cast<std::size_t>(b);
     } else if (const char* v = value("--max-steps=")) {
       args.max_steps = std::atol(v);
-      if (args.max_steps < 1) return false;
+      if (args.max_steps < 1) return bad_value();
     } else if (const char* v = value("--csv=")) {
       args.csv_path = v;
     } else if (const char* v = value("--json=")) {
       args.json_path = v;
+    } else if (const char* v = value("--metrics-out=")) {
+      args.metrics_path = v;
+    } else if (const char* v = value("--trace-out=")) {
+      args.trace_path = v;
     } else if (const char* v = value("--shard=")) {
       const auto spec = campaign::shard_from_string(v);
-      if (!spec) return false;
+      if (!spec) return bad_value();
       args.shard = *spec;
     } else if (const char* v = value("--checkpoint=")) {
       args.checkpoint_path = v;
     } else if (const char* v = value("--flush-interval=")) {
       args.flush_interval = std::atof(v);
-      if (args.flush_interval <= 0) return false;
+      if (args.flush_interval <= 0) return bad_value();
     } else if (const char* v = value("--max-jobs=")) {
       args.max_jobs = static_cast<std::size_t>(std::atol(v));
     } else if (arg == "--adaptive") {
@@ -132,20 +149,26 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (const char* v = value("--adaptive-round=")) {
       args.adaptive.enabled = true;
       args.adaptive.seeds_per_round = static_cast<unsigned>(std::atoi(v));
-      if (args.adaptive.seeds_per_round == 0) return false;
+      if (args.adaptive.seeds_per_round == 0) return bad_value();
     } else if (const char* v = value("--adaptive-variance=")) {
       args.adaptive.enabled = true;
       args.adaptive.instants_variance_threshold = std::atof(v);
+    } else if (arg == "--progress") {
+      args.progress = true;
     } else if (arg == "--quiet") {
       args.quiet = true;
     } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return false;
     }
   }
   // A single shard sees only its slice of each cell, so its stats cannot
   // drive escalation decisions; escalate on the full matrix (or a merged
   // checkpoint) instead.
-  if (args.adaptive.enabled && args.shard.count > 1) return false;
+  if (args.adaptive.enabled && args.shard.count > 1) {
+    std::fprintf(stderr, "--adaptive needs whole-cell stats and excludes --shard\n");
+    return false;
+  }
   return true;
 }
 
@@ -196,16 +219,23 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, args)) {
     std::fprintf(stderr,
                  "usage: %s [--sections=paper|all|4.2.1,...] [--rows=4..10:2] [--cols=4..10:2]\n"
-                 "          [--topologies=grid,ring,torus,holes[:HxW[@RxC]],obstacles:P:S]\n"
-                 "          [--scheds=all|fsync,ssync-random,ssync-rr,async-random,"
-                 "async-central,async-stress]\n"
+                 "          [--topologies=SPEC,...] [--scheds=all|fsync,ssync-random,ssync-rr,"
+                 "async-random,async-central,async-stress]\n"
                  "          [--seeds=N] [--threads=N] [--batch=N] [--max-steps=N]\n"
-                 "          [--csv=PATH] [--json=PATH] [--quiet]\n"
+                 "          [--csv=PATH] [--json=PATH] [--metrics-out=PATH] [--trace-out=PATH]\n"
+                 "          [--progress] [--quiet]\n"
                  "          [--shard=I/N] [--checkpoint=PATH] [--flush-interval=SEC]\n"
                  "          [--max-jobs=N] [--adaptive] [--adaptive-max-extra=N]\n"
                  "          [--adaptive-round=N] [--adaptive-variance=X]\n"
-                 "(--adaptive needs whole-cell stats and excludes --shard)\n",
-                 argv[0]);
+                 "  --topologies     each SPEC is %s\n"
+                 "  --batch=N        jobs grouped per worker task: 0 = per-cell automatic,\n"
+                 "                   1 = one job per task; reports are byte-identical at any N\n"
+                 "  --metrics-out    telemetry counters/gauges/histograms as JSON\n"
+                 "                   (docs/FORMATS.md#metrics-json)\n"
+                 "  --trace-out      Chrome trace_event JSON for chrome://tracing / Perfetto\n"
+                 "  --progress       live stderr meter even when stderr is not a TTY\n"
+                 "  --adaptive       needs whole-cell stats and excludes --shard\n",
+                 argv[0], lumi::topology_spec_grammar());
     return 2;
   }
 
@@ -228,10 +258,31 @@ int main(int argc, char** argv) {
               matrix.sections.size(), expansion.cells.size(), expansion.jobs.size(),
               to_string(args.shard).c_str());
 
+  // Telemetry master switch: flipped before any instrumented code runs, and
+  // only when something will consume it — the meter, --metrics-out or
+  // --trace-out.  Reports are byte-identical either way (pinned by
+  // tests/test_obs_identity.cpp).
+  const bool meter_wanted =
+      !args.quiet && (args.progress || obs::ProgressMeter::stderr_is_tty());
+  if (meter_wanted || !args.metrics_path.empty() || !args.trace_path.empty()) {
+    obs::Registry::global().set_enabled(true);
+  }
+  std::optional<obs::TraceWriter> trace;
+  if (!args.trace_path.empty()) {
+    trace.emplace(args.trace_path);
+    obs::TraceWriter::install(&*trace);
+  }
+
   const bool orchestrated = args.shard.count > 1 || !args.checkpoint_path.empty() ||
                             args.adaptive.enabled || args.max_jobs != 0;
   campaign::CampaignSummary summary;
   bool complete = true;
+  obs::ProgressMeter::Options meter_opts;
+  meter_opts.total_jobs = expansion.jobs.size();
+  meter_opts.total_cells = expansion.cells.size();
+  meter_opts.force = args.progress;
+  std::optional<obs::ProgressMeter> meter;
+  if (meter_wanted) meter.emplace(meter_opts);
   if (orchestrated) {
     campaign::OrchestratorOptions opts;
     opts.threads = args.threads;
@@ -257,6 +308,7 @@ int main(int argc, char** argv) {
   } else {
     summary = campaign::run_campaign(expansion, args.threads, args.batch);
   }
+  meter.reset();  // joins the sampler and clears the status line
 
   if (!args.quiet) {
     std::printf("%-8s %-8s %-16s %-14s %6s %6s %6s %10s %10s\n", "section", "grid", "topo",
@@ -278,12 +330,30 @@ int main(int argc, char** argv) {
               summary.total.terminated, summary.total.runs, summary.total.explored_all,
               summary.total.runs, summary.total.failures);
 
-  if (!args.csv_path.empty() && !lumi::write_text_file(args.csv_path, campaign_csv(summary))) {
-    std::fprintf(stderr, "failed to write %s\n", args.csv_path.c_str());
+  if (!args.csv_path.empty()) {
+    // Span in the CLI, not in src/trace: obs-isolation keeps report
+    // rendering free of obs:: symbols.
+    obs::Span span("report.write", "cli");
+    if (!lumi::write_text_file(args.csv_path, campaign_csv(summary))) {
+      std::fprintf(stderr, "failed to write %s\n", args.csv_path.c_str());
+      return 1;
+    }
+  }
+  if (!args.json_path.empty()) {
+    obs::Span span("report.write", "cli");
+    if (!lumi::write_text_file(args.json_path, campaign_json(summary))) {
+      std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());
+      return 1;
+    }
+  }
+  if (!args.metrics_path.empty() &&
+      !lumi::write_text_file(args.metrics_path,
+                             obs::metrics_json(obs::Registry::global().snapshot()))) {
+    std::fprintf(stderr, "failed to write %s\n", args.metrics_path.c_str());
     return 1;
   }
-  if (!args.json_path.empty() && !lumi::write_text_file(args.json_path, campaign_json(summary))) {
-    std::fprintf(stderr, "failed to write %s\n", args.json_path.c_str());
+  if (trace && !trace->flush()) {
+    std::fprintf(stderr, "failed to write %s\n", args.trace_path.c_str());
     return 1;
   }
 

@@ -7,16 +7,19 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/campaign/checkpoint.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace_event.hpp"
 #include "src/trace/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace lumi;
 
-  std::string out_path, csv_path, json_path;
+  std::string out_path, csv_path, json_path, metrics_path, trace_path;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -30,23 +33,41 @@ int main(int argc, char** argv) {
       csv_path = v;
     } else if (const char* v = value("--json=")) {
       json_path = v;
+    } else if (const char* v = value("--metrics-out=")) {
+      metrics_path = v;
+    } else if (const char* v = value("--trace-out=")) {
+      trace_path = v;
     } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "campaign_merge: unknown option '%s'\n", arg.c_str());
       std::fprintf(stderr,
-                   "usage: %s [--out=MERGED.ckpt] [--csv=PATH] [--json=PATH] SHARD.ckpt...\n",
+                   "usage: %s [--out=MERGED.ckpt] [--csv=PATH] [--json=PATH]\n"
+                   "          [--metrics-out=PATH] [--trace-out=PATH] SHARD.ckpt...\n",
                    argv[0]);
       return 2;
     } else {
       inputs.push_back(arg);
     }
   }
+  // Telemetry is opt-in and result-inert: merged checkpoints and reports are
+  // byte-identical with it on or off (tests/test_obs_identity.cpp).
+  if (!metrics_path.empty() || !trace_path.empty()) {
+    obs::Registry::global().set_enabled(true);
+  }
+  std::optional<obs::TraceWriter> trace;
+  if (!trace_path.empty()) {
+    trace.emplace(trace_path);
+    obs::TraceWriter::install(&*trace);
+  }
   if (inputs.empty()) {
     std::fprintf(stderr, "campaign_merge: no shard checkpoints given\n");
     return 2;
   }
 
+  obs::Counter& obs_shards = obs::Registry::global().counter("merge.shards_loaded");
   campaign::Checkpoint merged;
   std::size_t loaded = 0;
   for (const std::string& path : inputs) {
+    obs::Span span("merge.shard", "merge");
     std::optional<campaign::Checkpoint> shard;
     try {
       shard = campaign::checkpoint_load(path);
@@ -69,6 +90,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     ++loaded;
+    obs_shards.add(1);
   }
 
   const campaign::CampaignSummary summary = campaign::checkpoint_summary(merged);
@@ -78,16 +100,34 @@ int main(int argc, char** argv) {
               summary.total.runs, summary.total.explored_all, summary.total.runs,
               summary.total.failures);
 
-  if (!out_path.empty() && !campaign::checkpoint_write(out_path, merged)) {
-    std::fprintf(stderr, "campaign_merge: failed to write %s\n", out_path.c_str());
+  if (!out_path.empty()) {
+    obs::Span span("checkpoint.flush", "merge");
+    if (!campaign::checkpoint_write(out_path, merged)) {
+      std::fprintf(stderr, "campaign_merge: failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  if (!csv_path.empty()) {
+    obs::Span span("report.write", "cli");
+    if (!write_text_file(csv_path, campaign_csv(summary))) {
+      std::fprintf(stderr, "campaign_merge: failed to write %s\n", csv_path.c_str());
+      return 1;
+    }
+  }
+  if (!json_path.empty()) {
+    obs::Span span("report.write", "cli");
+    if (!write_text_file(json_path, campaign_json(summary))) {
+      std::fprintf(stderr, "campaign_merge: failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  if (!metrics_path.empty() &&
+      !write_text_file(metrics_path, obs::metrics_json(obs::Registry::global().snapshot()))) {
+    std::fprintf(stderr, "campaign_merge: failed to write %s\n", metrics_path.c_str());
     return 1;
   }
-  if (!csv_path.empty() && !write_text_file(csv_path, campaign_csv(summary))) {
-    std::fprintf(stderr, "campaign_merge: failed to write %s\n", csv_path.c_str());
-    return 1;
-  }
-  if (!json_path.empty() && !write_text_file(json_path, campaign_json(summary))) {
-    std::fprintf(stderr, "campaign_merge: failed to write %s\n", json_path.c_str());
+  if (trace && !trace->flush()) {
+    std::fprintf(stderr, "campaign_merge: failed to write %s\n", trace_path.c_str());
     return 1;
   }
   return 0;

@@ -1,6 +1,7 @@
 #include "src/campaign/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <exception>
@@ -11,6 +12,8 @@
 
 #include "src/algorithms/registry.hpp"
 #include "src/campaign/thread_pool.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace_event.hpp"
 #include "src/sched/async_schedulers.hpp"
 #include "src/sched/sync_schedulers.hpp"
 #include "src/topo/topology.hpp"
@@ -258,6 +261,24 @@ std::size_t auto_batch_size(const Cell& cell) {
 void run_cell_batch(const Cell& cell, std::span<const unsigned> seeds,
                     const RunOptions& options, WarmStartSlot* warm, Arena* arena,
                     const std::function<void(std::size_t, const RunResult&)>& sink) {
+  // Telemetry handles, resolved once per process (cold, locked).  Recording
+  // is a relaxed load + branch while the registry is disabled; the counters
+  // observe the batch, they never feed results (obs-isolation).
+  static obs::Histogram& obs_batch_items =
+      obs::Registry::global().histogram("campaign.batch_items", {1, 2, 4, 8, 16, 32, 64});
+  static obs::Counter& obs_jobs_done = obs::Registry::global().counter("campaign.jobs_done");
+  static obs::Counter& obs_match_reused =
+      obs::Registry::global().counter("campaign.match.reused");
+  static obs::Counter& obs_match_recomputed =
+      obs::Registry::global().counter("campaign.match.recomputed");
+  static obs::Counter& obs_match_warm =
+      obs::Registry::global().counter("campaign.match.warm_reused");
+  static obs::Gauge& obs_arena_hw =
+      obs::Registry::global().gauge("campaign.arena_high_water.max");
+  obs_batch_items.record(static_cast<long long>(seeds.size()));
+  obs::Span span("campaign.batch", "campaign");
+  span.set_arg("items", static_cast<long long>(seeds.size()));
+
   std::optional<Algorithm> alg;
   std::optional<Topology> topo;
   std::optional<Configuration> initial;
@@ -273,7 +294,10 @@ void run_cell_batch(const Cell& cell, std::span<const unsigned> seeds,
     opts.initial = &*initial;
   } catch (const std::exception& e) {
     const RunResult r = failure_result(e);
-    for (std::size_t i = 0; i < seeds.size(); ++i) sink(i, r);
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      obs_jobs_done.add(1);
+      sink(i, r);
+    }
     return;
   }
   // After the first item has published the cell's warm start, hold one
@@ -293,11 +317,18 @@ void run_cell_batch(const Cell& cell, std::span<const unsigned> seeds,
       opts.warm_adopt = adopted.get();
     }
     try {
-      sink(i, run_prepared(*alg, *topo, cell.sched, seeds[i], opts));
+      const RunResult& r = run_prepared(*alg, *topo, cell.sched, seeds[i], opts);
+      obs_match_reused.add(r.stats.match_reused);
+      obs_match_recomputed.add(r.stats.match_recomputed);
+      obs_match_warm.add(r.stats.match_warm_reused);
+      obs_jobs_done.add(1);
+      sink(i, r);
     } catch (const std::exception& e) {
+      obs_jobs_done.add(1);
       sink(i, failure_result(e));
     }
   }
+  if (arena != nullptr) obs_arena_hw.record_max(static_cast<long long>(arena->high_water()));
 }
 
 CampaignSummary run_campaign(const Expansion& expansion, unsigned threads, std::size_t batch) {
@@ -320,6 +351,15 @@ CampaignSummary run_campaign(const Expansion& expansion, unsigned threads, std::
   // initial verdict table, the cell's other seeds skip the initial full
   // compute (pure perf — summaries are identical either way).
   std::vector<WarmStartSlot> warm(expansion.cells.size());
+  // Telemetry-only countdown backing the campaign.cells_done counter for the
+  // live progress meter; results never read it.
+  static obs::Counter& obs_cells_done = obs::Registry::global().counter("campaign.cells_done");
+  auto remaining = std::make_unique<std::atomic<long long>[]>(expansion.cells.size());
+  for (std::size_t c = 0; c < expansion.cells.size(); ++c)
+    remaining[c].store(0, std::memory_order_relaxed);  // lumi-lint: allow(relaxed-atomic)
+  for (const Job& job : expansion.jobs)
+    // lumi-lint: allow(relaxed-atomic) — telemetry countdown, pre-pool setup
+    remaining[job.cell].fetch_add(1, std::memory_order_relaxed);
   // Consecutive same-cell jobs are grouped into one pool task of at most
   // `batch` items (0 = per-cell automatic) so tiny runs amortize their
   // setup; the accumulator adds are exact commutative integer updates, so
@@ -333,12 +373,18 @@ CampaignSummary run_campaign(const Expansion& expansion, unsigned threads, std::
       seeds.push_back(expansion.jobs[i].seed);
       ++i;
     }
-    pool.submit([&expansion, &per_worker, &pool, &warm, &arenas, cell,
+    pool.submit([&expansion, &per_worker, &pool, &warm, &arenas, &remaining, cell,
                  seeds = std::move(seeds)] {
       const std::size_t w = static_cast<std::size_t>(pool.worker_index());
       run_cell_batch(expansion.cells[cell], seeds, expansion.options, &warm[cell],
-                     arenas[w].get(), [&per_worker, w, cell](std::size_t, const RunResult& r) {
+                     arenas[w].get(),
+                     [&per_worker, &remaining, w, cell](std::size_t, const RunResult& r) {
                        per_worker[w].add(cell, r);
+                       // Cell-completion tick for the progress meter only.
+                       // lumi-lint: allow(relaxed-atomic)
+                       if (remaining[cell].fetch_sub(1, std::memory_order_relaxed) == 1) {
+                         obs_cells_done.add(1);
+                       }
                      });
     });
   }
@@ -358,6 +404,11 @@ CampaignSummary run_campaign(const Expansion& expansion, unsigned threads, std::
   // lumi-lint: allow(wall-clock) — same diagnostic as the matching read above
   summary.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
                              .count();
+  // Execution-environment diagnostics promoted into the metrics snapshot:
+  // the JSON *report* stays env-free, metrics are the separate channel.
+  obs::Registry::global().gauge("campaign.wall_ms").set(
+      static_cast<long long>(summary.wall_seconds * 1000.0));
+  obs::Registry::global().gauge("campaign.threads").set(summary.threads);
   return summary;
 }
 

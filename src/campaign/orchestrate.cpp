@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "src/campaign/thread_pool.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace_event.hpp"
 
 namespace lumi::campaign {
 
@@ -74,7 +76,22 @@ class CheckpointFlusher {
       if (wrote_once_ && version == flushed_version_) return true;
       snapshot = state_;
     }
+    // Flush count and latency are telemetry about the write, taken entirely
+    // outside the serialized state — they can never leak into the checkpoint
+    // bytes (obs-isolation bans obs:: from checkpoint.* itself).
+    static obs::Counter& obs_flushes =
+        obs::Registry::global().counter("orchestrate.checkpoint_flushes");
+    static obs::Histogram& obs_flush_ms = obs::Registry::global().histogram(
+        "orchestrate.flush_ms", {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+    obs::Span span("checkpoint.flush", "orchestrate");
+    span.set_arg("version", static_cast<long long>(version));
+    // Telemetry-only latency read.  lumi-lint: allow(wall-clock)
+    const auto t0 = std::chrono::steady_clock::now();
     if (!checkpoint_write(path_, snapshot)) return false;
+    // lumi-lint: allow(wall-clock) — telemetry latency, as above
+    const auto dur = std::chrono::steady_clock::now() - t0;
+    obs_flushes.add(1);
+    obs_flush_ms.record(std::chrono::duration_cast<std::chrono::milliseconds>(dur).count());
     flushed_version_ = version;
     wrote_once_ = true;
     return true;
@@ -134,6 +151,15 @@ OrchestratorReport run_orchestrated(const Expansion& expansion,
   // checkpoints or the merged JSON report.  lumi-lint: allow(wall-clock)
   const auto start = std::chrono::steady_clock::now();
 
+  // Telemetry handles (result-inert; docs/OBSERVABILITY.md has the catalog).
+  obs::Registry& obs_reg = obs::Registry::global();
+  obs::Counter& obs_resume_skips = obs_reg.counter("orchestrate.resume_skips");
+  obs::Counter& obs_seeds_escalated = obs_reg.counter("orchestrate.seeds_escalated");
+  obs::Counter& obs_cells_done = obs_reg.counter("campaign.cells_done");
+  // Base (pre-escalation) job count per cell: drives escalation eligibility
+  // and the cells_done completion tick.
+  const std::vector<std::size_t> base = base_jobs_per_cell(expansion);
+
   Checkpoint ck = make_checkpoint(expansion);
   if (!options.checkpoint_path.empty()) {
     if (std::optional<Checkpoint> loaded = checkpoint_load(options.checkpoint_path)) {
@@ -150,6 +176,11 @@ OrchestratorReport run_orchestrated(const Expansion& expansion,
         }
       }
       ck = std::move(*loaded);
+      // Cells this resume starts with already complete (their base pass done
+      // in an earlier invocation) count toward the progress meter's total.
+      for (std::size_t i = 0; i < ck.cells.size(); ++i) {
+        if (base[i] > 0 && ck.cells[i].seeds_done.size() >= base[i]) obs_cells_done.add(1);
+      }
     }
   }
 
@@ -193,7 +224,10 @@ OrchestratorReport run_orchestrated(const Expansion& expansion,
           {
             std::lock_guard lock(state_mu);
             if (seed_done(ck.cells[job.cell], job.seed)) {
-              if (base_pass) ++report.jobs_skipped;
+              if (base_pass) {
+                ++report.jobs_skipped;
+                obs_resume_skips.add(1);
+              }
               ++i;
               continue;
             }
@@ -203,13 +237,16 @@ OrchestratorReport run_orchestrated(const Expansion& expansion,
             break;
           }
           ++report.jobs_executed;
-          if (!base_pass) ++report.escalation_jobs;
+          if (!base_pass) {
+            ++report.escalation_jobs;
+            obs_seeds_escalated.add(1);
+          }
           seeds.push_back(job.seed);
           ++i;
         }
         if (seeds.empty()) continue;
-        pool.submit([&expansion, &ck, &state_mu, &version, &warm, &arenas, &pool, cell_index,
-                     seeds = std::move(seeds)] {
+        pool.submit([&expansion, &ck, &state_mu, &version, &warm, &arenas, &pool, &base,
+                     &obs_cells_done, cell_index, seeds = std::move(seeds)] {
           const std::size_t w = static_cast<std::size_t>(pool.worker_index());
           run_cell_batch(expansion.cells[cell_index], seeds, expansion.options,
                          &warm[cell_index], arenas[w].get(),
@@ -219,6 +256,11 @@ OrchestratorReport run_orchestrated(const Expansion& expansion,
                            cell.acc.add(result);
                            record_seed(cell, seeds[item]);
                            ++version;
+                           // Completion tick for the progress meter: fires
+                           // exactly once, when the base pass crosses done.
+                           if (cell.seeds_done.size() == base[cell_index]) {
+                             obs_cells_done.add(1);
+                           }
                          });
         });
       }
@@ -229,7 +271,6 @@ OrchestratorReport run_orchestrated(const Expansion& expansion,
     pool.wait_idle();
 
     if (report.complete && options.adaptive.enabled) {
-      const std::vector<std::size_t> base = base_jobs_per_cell(expansion);
       for (unsigned round = 0; round < options.adaptive.max_rounds; ++round) {
         std::vector<Job> jobs;
         {
@@ -255,6 +296,11 @@ OrchestratorReport run_orchestrated(const Expansion& expansion,
   report.summary.wall_seconds =  // diagnostic, as above
       // lumi-lint: allow(wall-clock)
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  // Same env-diagnostic promotion as run_campaign: metrics snapshot only,
+  // never the JSON report or the checkpoint.
+  obs_reg.gauge("campaign.wall_ms")
+      .set(static_cast<long long>(report.summary.wall_seconds * 1000.0));
+  obs_reg.gauge("campaign.threads").set(report.summary.threads);
   report.checkpoint = std::move(ck);
   return report;
 }

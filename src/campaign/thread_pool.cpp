@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace_event.hpp"
 
 namespace lumi {
 
@@ -18,6 +22,21 @@ ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   queues_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) queues_.push_back(std::make_unique<Queue>());
+  // Registry handles are resolved once here (cold, locked); the hot path
+  // below only ever does an enabled-check + relaxed add on its own worker's
+  // counter.  Names are stable across pools: a process's pools accumulate
+  // into the same per-worker-index series.
+  obs::Registry& registry = obs::Registry::global();
+  obs_executed_.reserve(threads);
+  obs_stolen_.reserve(threads);
+  obs_steal_failed_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    const std::string prefix = "pool.worker." + std::to_string(i);
+    obs_executed_.push_back(&registry.counter(prefix + ".executed"));
+    obs_stolen_.push_back(&registry.counter(prefix + ".stolen"));
+    obs_steal_failed_.push_back(&registry.counter(prefix + ".steal_failures"));
+  }
+  obs_pending_max_ = &registry.gauge("pool.pending_tasks.max");
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -48,7 +67,8 @@ void ThreadPool::submit(std::function<void()> task) {
   // The increment happens under mu_ before the task is visible in any deque;
   // the release side of the counter is the acq_rel fetch_sub in worker_loop.
   // lumi-lint: allow(relaxed-atomic)
-  pending_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t pending = pending_.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs_pending_max_->record_max(static_cast<long long>(pending));
   {
     std::lock_guard qlock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
@@ -63,8 +83,9 @@ void ThreadPool::wait_idle() {
 
 int ThreadPool::worker_index() const { return tl_pool == this ? tl_worker : -1; }
 
-bool ThreadPool::try_get_task(unsigned self, std::function<void()>& out) {
+bool ThreadPool::try_get_task(unsigned self, std::function<void()>& out, bool& stolen) {
   // Own deque first (LIFO for locality), then steal FIFO from siblings.
+  stolen = false;
   {
     Queue& q = *queues_[self];
     std::lock_guard lock(q.mu);
@@ -80,6 +101,7 @@ bool ThreadPool::try_get_task(unsigned self, std::function<void()>& out) {
     if (!q.tasks.empty()) {
       out = std::move(q.tasks.front());
       q.tasks.pop_front();
+      stolen = true;
       return true;
     }
   }
@@ -91,8 +113,14 @@ void ThreadPool::worker_loop(unsigned self) {
   tl_worker = static_cast<int>(self);
   for (;;) {
     std::function<void()> task;
-    if (try_get_task(self, task)) {
-      task();
+    bool stolen = false;
+    if (try_get_task(self, task, stolen)) {
+      obs_executed_[self]->add(1);
+      if (stolen) obs_stolen_[self]->add(1);
+      {
+        obs::Span span("pool.task", "pool");
+        task();
+      }
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Last task done: take mu_ so the notify cannot race a waiter that
         // has checked the predicate but not yet gone to sleep.
@@ -101,6 +129,7 @@ void ThreadPool::worker_loop(unsigned self) {
       }
       continue;
     }
+    obs_steal_failed_[self]->add(1);
     std::unique_lock lock(mu_);
     // Re-check the deques under mu_: a submit between our scan and this lock
     // would otherwise be missed and its notify lost.

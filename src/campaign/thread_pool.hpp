@@ -16,6 +16,11 @@
 
 namespace lumi {
 
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
 class ThreadPool {
  public:
   /// `threads == 0` sizes the pool to std::thread::hardware_concurrency()
@@ -47,12 +52,22 @@ class ThreadPool {
     std::deque<std::function<void()>> tasks;
   };
 
-  /// Pops from the worker's own deque, else steals from a sibling.
-  bool try_get_task(unsigned self, std::function<void()>& out);
+  /// Pops from the worker's own deque, else steals from a sibling; `stolen`
+  /// reports which of the two happened.
+  bool try_get_task(unsigned self, std::function<void()>& out, bool& stolen);
   void worker_loop(unsigned self);
 
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
+
+  // Telemetry (src/obs/metrics.hpp): per-worker task/steal counters and a
+  // pending-task high-water gauge.  Handles are registry-owned and live for
+  // the process; recording is a no-op while the registry is disabled.
+  // Telemetry observes the pool, it never steers it (obs-isolation).
+  std::vector<obs::Counter*> obs_executed_;
+  std::vector<obs::Counter*> obs_stolen_;
+  std::vector<obs::Counter*> obs_steal_failed_;
+  obs::Gauge* obs_pending_max_ = nullptr;
 
   std::mutex mu_;  ///< guards stop_ and both condition variables
   std::condition_variable work_cv_;

@@ -1,0 +1,176 @@
+// Campaign telemetry: a process-wide metrics registry of named counters,
+// gauges and fixed-bucket histograms.
+//
+// Design constraints (docs/OBSERVABILITY.md, docs/DETERMINISM.md):
+//  - Result-inert by construction: metrics *observe* execution, they never
+//    feed results.  The lumi-lint rule `obs-isolation` bans obs:: symbols
+//    from report rendering and checkpoint serialization, and the telemetry
+//    on/off byte-identity of reports is pinned by tests/test_obs_identity.cpp.
+//  - No hot-path locks: counters and histograms write per-thread sharded,
+//    cache-line-padded atomic slots with relaxed ordering; aggregation
+//    happens only at snapshot() time.  Gauges are a single atomic (their
+//    writers are rare).
+//  - Near-zero when disabled: every recording operation is a relaxed bool
+//    load and a predicted branch when the registry is disabled (the
+//    default).  Handle lookup (by name, under a mutex) is a cold path done
+//    once per call site via a function-local static.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lumi::obs {
+
+/// Per-thread slot count for sharded metrics.  Threads hash onto slots via a
+/// process-wide thread index, so up to kMetricShards writers proceed with no
+/// cache-line contention at all; beyond that they share slots (still correct,
+/// just contended).
+inline constexpr std::size_t kMetricShards = 16;
+
+namespace detail {
+/// Slot index of the calling thread (assigned once per thread, round-robin).
+std::size_t shard_index() noexcept;
+
+struct alignas(64) Slot {
+  std::atomic<long long> v{0};
+};
+}  // namespace detail
+
+/// Monotonic counter.  add() is wait-free: one relaxed fetch_add on the
+/// calling thread's slot.
+class Counter {
+ public:
+  void add(long long v = 1) noexcept;
+  /// Sum over all slots (snapshot-path only; concurrent adds may or may not
+  /// be included — telemetry, not synchronization).
+  long long value() const noexcept;
+
+ private:
+  friend class Registry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  std::array<detail::Slot, kMetricShards> slots_;
+  const std::atomic<bool>* enabled_;
+};
+
+/// Last-value / running-max gauge.  A single atomic: gauge writers are rare
+/// (per-campaign, per-flush), never per-job.
+class Gauge {
+ public:
+  void set(long long v) noexcept;
+  /// Raises the gauge to `v` if larger (CAS loop; monotonic high-water).
+  void record_max(long long v) noexcept;
+  long long value() const noexcept;
+
+ private:
+  friend class Registry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  std::atomic<long long> v_{0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// Fixed-bucket histogram: bucket i counts samples <= bounds[i] (first
+/// matching bound wins); one overflow bucket past the last bound.  The
+/// bounds are fixed at creation and shared by every thread; counts and the
+/// exact sample sum are sharded like Counter.
+class Histogram {
+ public:
+  void record(long long sample) noexcept;
+
+  const std::vector<long long>& bounds() const { return bounds_; }
+  /// Aggregated per-bucket counts (size bounds().size() + 1) — snapshot path.
+  std::vector<long long> counts() const;
+  long long count() const noexcept;
+  long long sum() const noexcept;
+
+ private:
+  friend class Registry;
+  Histogram(const std::atomic<bool>* enabled, std::vector<long long> bounds);
+  struct alignas(64) HistSlot {
+    std::vector<std::atomic<long long>> buckets;
+    std::atomic<long long> sum{0};
+  };
+  std::vector<long long> bounds_;
+  std::array<HistSlot, kMetricShards> slots_;
+  const std::atomic<bool>* enabled_;
+};
+
+/// One aggregated scalar metric in a snapshot.
+struct MetricValue {
+  std::string name;
+  long long value = 0;
+};
+
+/// One aggregated histogram in a snapshot.
+struct HistogramValue {
+  std::string name;
+  std::vector<long long> bounds;  ///< upper-inclusive bucket bounds
+  std::vector<long long> counts;  ///< bounds.size() + 1 (overflow last)
+  long long count = 0;
+  long long sum = 0;
+};
+
+/// Point-in-time aggregation of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricValue> counters;
+  std::vector<MetricValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Value of a named counter/gauge, 0 when absent (meter convenience).
+  long long counter_or(const std::string& name, long long fallback = 0) const;
+  long long gauge_or(const std::string& name, long long fallback = 0) const;
+  /// Sum of every counter whose name starts with `prefix` and ends with
+  /// `suffix` (e.g. per-worker pool counters).
+  long long counter_prefix_sum(const std::string& prefix, const std::string& suffix) const;
+};
+
+/// The process-wide registry.  Handles returned by counter()/gauge()/
+/// histogram() are stable for the life of the process (metrics are never
+/// unregistered), so call sites cache them in function-local statics.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Telemetry master switch; disabled (the default) makes every recording
+  /// operation a load+branch.  Flip only while no instrumented code runs
+  /// (CLIs flip it before starting the pool).
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_release); }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Get-or-create by name.  Creating is locked (cold); recording is not.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` must be non-empty and strictly ascending; a second lookup of
+  /// the same name ignores its `bounds` argument (first registration wins).
+  Histogram& histogram(const std::string& name, std::vector<long long> bounds);
+
+  /// Aggregates every metric.  Safe to call while recorders run: counts are
+  /// per-slot atomic reads (telemetry-consistent, not a linearization).
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every slot of every metric (names stay registered).  For tests
+  /// and benches that need per-phase deltas; call only while no instrumented
+  /// code runs.
+  void reset();
+
+ private:
+  Registry() = default;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  ///< guards the maps (creation + snapshot/reset)
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Renders a snapshot as the stable metrics JSON schema documented in
+/// docs/FORMATS.md#metrics-json: {"lumi_metrics": 1, "counters": {...},
+/// "gauges": {...}, "histograms": {...}} with keys in sorted order.
+std::string metrics_json(const MetricsSnapshot& snapshot);
+
+}  // namespace lumi::obs

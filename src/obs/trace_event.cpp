@@ -1,0 +1,87 @@
+#include "src/obs/trace_event.hpp"
+
+#include <cstdio>
+
+namespace lumi::obs {
+
+namespace {
+
+// The installed writer.  Installation happens while no spans are live, so
+// acquire/release is enough (and the common disabled path is one load).
+std::atomic<TraceWriter*> g_writer{nullptr};
+
+std::uint32_t next_thread_id() noexcept {
+  // Dense ids orders nothing — any interleaving just numbers threads
+  // differently in the trace.  lumi-lint: allow(relaxed-atomic)
+  static std::atomic<std::uint32_t> next{1};
+  // lumi-lint: allow(relaxed-atomic) — see above
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::string path)
+    : path_(std::move(path)), epoch_(std::chrono::steady_clock::now()) {
+  events_.reserve(4096);
+}
+
+TraceWriter::~TraceWriter() {
+  if (current() == this) install(nullptr);
+}
+
+void TraceWriter::add_complete(const char* name, const char* cat,
+                               std::chrono::steady_clock::time_point start,
+                               std::chrono::steady_clock::time_point end, std::uint32_t tid,
+                               const char* arg_key, long long arg_value) {
+  std::lock_guard lock(mu_);
+  events_.push_back({name, cat, start, end, tid, arg_key, arg_value});
+}
+
+std::size_t TraceWriter::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+bool TraceWriter::flush() {
+  std::vector<Event> events;
+  {
+    std::lock_guard lock(mu_);
+    events = events_;
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fputs("{\"traceEvents\": [\n", f);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    // Floor both endpoints against the shared epoch, then derive dur: with a
+    // monotonic floor, a child interval stays inside its parent's in the
+    // rendered integers (flooring dur separately would not guarantee that).
+    const auto ts =
+        std::chrono::duration_cast<std::chrono::microseconds>(e.start - epoch_).count();
+    const auto te =
+        std::chrono::duration_cast<std::chrono::microseconds>(e.end - epoch_).count();
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %lld, "
+                 "\"dur\": %lld, \"pid\": 1, \"tid\": %u",
+                 e.name, e.cat, static_cast<long long>(ts),
+                 static_cast<long long>(te - ts), e.tid);
+    if (e.arg_key != nullptr) {
+      std::fprintf(f, ", \"args\": {\"%s\": %lld}", e.arg_key, e.arg_value);
+    }
+    std::fputs(i + 1 == events.size() ? "}\n" : "},\n", f);
+  }
+  std::fputs("]}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+void TraceWriter::install(TraceWriter* w) { g_writer.store(w, std::memory_order_release); }
+
+TraceWriter* TraceWriter::current() { return g_writer.load(std::memory_order_acquire); }
+
+std::uint32_t TraceWriter::thread_id() {
+  thread_local const std::uint32_t id = next_thread_id();
+  return id;
+}
+
+}  // namespace lumi::obs

@@ -1,0 +1,92 @@
+#include "src/obs/trace_event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace lumi::obs {
+namespace {
+
+std::string temp_path(const char* name) { return testing::TempDir() + name; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(TraceEvents, NoWriterMeansNoRecording) {
+  ASSERT_EQ(TraceWriter::current(), nullptr);
+  {
+    Span span("orphan", "test");  // must be a cheap no-op, not a crash
+    span.set_arg("k", 1);
+  }
+  EXPECT_EQ(TraceWriter::current(), nullptr);
+}
+
+TEST(TraceEvents, WriterUninstallsItselfOnDestruction) {
+  {
+    TraceWriter w(temp_path("trace_uninstall.json"));
+    TraceWriter::install(&w);
+    EXPECT_EQ(TraceWriter::current(), &w);
+  }
+  EXPECT_EQ(TraceWriter::current(), nullptr);
+}
+
+TEST(TraceEvents, SpansRecordAndFlushAsJson) {
+  const std::string path = temp_path("trace_flush.json");
+  TraceWriter w(path);
+  TraceWriter::install(&w);
+  {
+    Span outer("outer", "test");
+    outer.set_arg("items", 3);
+    {
+      Span inner("inner", "test");
+    }
+  }
+  TraceWriter::install(nullptr);
+  EXPECT_EQ(w.event_count(), 2u);  // spans record on destruction
+  ASSERT_TRUE(w.flush());
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"inner\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"args\": {\"items\": 3}"), std::string::npos);
+  // The inner span destructs first, so it serializes first.
+  EXPECT_LT(text.find("\"inner\""), text.find("\"outer\""));
+}
+
+TEST(TraceEvents, ThreadIdsAreStablePerThreadAndDistinct) {
+  const std::uint32_t here = TraceWriter::thread_id();
+  EXPECT_EQ(TraceWriter::thread_id(), here);
+  std::uint32_t there = 0;
+  std::thread t([&there] { there = TraceWriter::thread_id(); });
+  t.join();
+  EXPECT_NE(there, here);
+}
+
+TEST(TraceEvents, FlushReportsIoFailure) {
+  TraceWriter w("/no/such/dir/trace.json");
+  TraceWriter::install(&w);
+  { Span span("x", "test"); }
+  TraceWriter::install(nullptr);
+  EXPECT_FALSE(w.flush());
+}
+
+TEST(TraceEvents, EmptyWriterFlushesValidSkeleton) {
+  const std::string path = temp_path("trace_empty.json");
+  TraceWriter w(path);
+  ASSERT_TRUE(w.flush());
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(w.event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace lumi::obs

@@ -1,0 +1,10 @@
+// Fixture: checkpoint serialization timing itself with a telemetry span —
+// obs:: must stay out of the bytes-on-disk path entirely.
+namespace lumi::obs {
+class Span;
+}
+
+void checkpoint_write_all() {
+  lumi::obs::Span* span = nullptr;
+  (void)span;
+}

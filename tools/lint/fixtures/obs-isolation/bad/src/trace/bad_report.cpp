@@ -1,0 +1,10 @@
+// Fixture: report rendering reaching into telemetry — both the include and
+// the symbol use must be flagged.
+#include "src/obs/metrics.hpp"
+
+#include <string>
+
+std::string render() {
+  long long jobs = lumi::obs::Registry::global().snapshot().counter_or("campaign.jobs_done");
+  return std::to_string(jobs);
+}

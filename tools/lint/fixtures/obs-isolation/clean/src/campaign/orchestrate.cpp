@@ -1,0 +1,5 @@
+// Fixture: the orchestrator is a legal instrumentation point — obs:: is
+// banned only in REPORT_PATHS (src/trace/, checkpoint.*, aggregate.*).
+#include "src/obs/metrics.hpp"
+
+void tick() { lumi::obs::Registry::global().counter("orchestrate.ticks").add(1); }

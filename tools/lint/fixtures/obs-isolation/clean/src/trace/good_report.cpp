@@ -1,0 +1,5 @@
+// Fixture: report rendering with no telemetry dependence — the word "obs"
+// in prose or identifiers like observations must not trip the rule.
+#include <string>
+
+std::string render(long observations) { return std::to_string(observations); }

@@ -104,6 +104,10 @@ RULES = [
             r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)::now"
         ),
         include=["src/*"],
+        # src/obs/ is telemetry by definition: spans and the progress meter
+        # exist to read the clock, and the obs-isolation rule fences them out
+        # of every result path, so per-call allow comments would be noise.
+        exempt=["src/obs/*"],
         message=(
             "clock reads in src/ risk leaking execution time into results "
             "(merge identity forbids it).  Wall-time diagnostics that never "
@@ -147,6 +151,23 @@ RULES = [
             "atomicity, no ordering); use std::atomic or a mutex.  Benches "
             "may use it as an optimizer barrier, which is why the rule "
             "scopes to src/"
+        ),
+    ),
+    Rule(
+        name="obs-isolation",
+        summary="telemetry (obs::) in report rendering or checkpoint serialization",
+        # Matches obs:: symbol uses and src/obs/ includes (include paths are
+        # re-injected into the code channel by lint_file — as string-literal
+        # contents they are otherwise blanked by the tokenizer).
+        pattern=re.compile(r"\bobs::|\bsrc/obs/"),
+        include=REPORT_PATHS,
+        message=(
+            "telemetry must observe results, never feed them: report "
+            "rendering, checkpoint serialization and mergeable accumulators "
+            "stay free of obs:: symbols so metrics/tracing can be toggled "
+            "without any risk to byte-identity (the on/off differential is "
+            "pinned by tests/test_obs_identity.cpp).  Instrument the callers "
+            "— CLIs, orchestrator, pool — not these files"
         ),
     ),
     Rule(
@@ -269,6 +290,15 @@ def lint_file(path: Path, rel: str, rules: list[Rule]) -> list[Finding]:
     except (OSError, UnicodeDecodeError) as err:
         return [Finding("io-error", rel, 0, "", f"unreadable: {err}")]
     lines = split_channels(text)
+    # Re-inject #include paths into the code channel: the tokenizer blanks
+    # string-literal contents, which would hide `#include "src/obs/..."` from
+    # path-sensitive rules like obs-isolation.
+    raw_lines = text.split("\n")
+    include_re = re.compile(r'^\s*#\s*include\s*["<]([^">]+)[">]')
+    lines = [
+        (code + " " + m.group(1) if (m := include_re.match(raw)) else code, comment)
+        for (code, comment), raw in zip(lines, raw_lines)
+    ]
     findings: list[Finding] = []
     prev_allow: set[str] = set()
     for lineno, (code, comment) in enumerate(lines, start=1):
