@@ -47,6 +47,7 @@ struct Args {
   std::string trace_path;    ///< Chrome trace_event JSON (chrome://tracing, Perfetto)
   bool progress = false;     ///< force the live meter even when stderr is not a TTY
   bool quiet = false;
+  bool validate_only = false;  ///< expand + analyze the matrix, run nothing
   campaign::ShardSpec shard;  ///< default 0/1: the whole matrix
   std::string checkpoint_path;
   double flush_interval = 5.0;
@@ -157,6 +158,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.progress = true;
     } else if (arg == "--quiet") {
       args.quiet = true;
+    } else if (arg == "--validate-only") {
+      args.validate_only = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return false;
@@ -223,7 +226,7 @@ int main(int argc, char** argv) {
                  "async-random,async-central,async-stress]\n"
                  "          [--seeds=N] [--threads=N] [--batch=N] [--max-steps=N]\n"
                  "          [--csv=PATH] [--json=PATH] [--metrics-out=PATH] [--trace-out=PATH]\n"
-                 "          [--progress] [--quiet]\n"
+                 "          [--progress] [--quiet] [--validate-only]\n"
                  "          [--shard=I/N] [--checkpoint=PATH] [--flush-interval=SEC]\n"
                  "          [--max-jobs=N] [--adaptive] [--adaptive-max-extra=N]\n"
                  "          [--adaptive-round=N] [--adaptive-variance=X]\n"
@@ -234,6 +237,8 @@ int main(int argc, char** argv) {
                  "                   (docs/FORMATS.md#metrics-json)\n"
                  "  --trace-out      Chrome trace_event JSON for chrome://tracing / Perfetto\n"
                  "  --progress       live stderr meter even when stderr is not a TTY\n"
+                 "  --validate-only  expand the matrix and run the rule-table analyzer on\n"
+                 "                   every section, then exit without running any job\n"
                  "  --adaptive       needs whole-cell stats and excludes --shard\n",
                  argv[0], lumi::topology_spec_grammar());
     return 2;
@@ -257,6 +262,14 @@ int main(int argc, char** argv) {
   std::printf("campaign: %zu algorithms x %zu cells -> %zu jobs (shard %s)\n",
               matrix.sections.size(), expansion.cells.size(), expansion.jobs.size(),
               to_string(args.shard).c_str());
+  if (args.validate_only) {
+    // expand() already ran the rule-table analyzer over every section (an
+    // ill-formed one aborted above with its findings), so reaching this
+    // point IS the validation verdict.
+    std::printf("validate-only: %zu sections well-formed, nothing run\n",
+                matrix.sections.size());
+    return 0;
+  }
 
   // Telemetry master switch: flipped before any instrumented code runs, and
   // only when something will consume it — the meter, --metrics-out or

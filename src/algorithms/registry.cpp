@@ -29,6 +29,7 @@ std::vector<TableEntry> build_table() {
   t.push_back({"4.3.4", Async, 2, 2, None, 2, "[5]", 4, false, algorithm9});
   t.push_back({"4.3.5", Async, 1, 3, Common, 3, "§3", 3, true, algorithm10});
   t.push_back({"4.3.6", Ssync, 1, 3, None, 3, "§3", 6, false, algorithm11});  // see alg11 capability note
+  check_unique(t);
   return t;
 }
 
@@ -40,6 +41,30 @@ const std::vector<TableEntry>& table() {
 }  // namespace
 
 std::span<const TableEntry> table1() { return table(); }
+
+void check_unique(std::span<const TableEntry> entries) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      if (entries[i].section == entries[j].section) {
+        throw std::invalid_argument("registry: duplicate Table 1 section '" +
+                                    entries[i].section + "' (entries " + std::to_string(i) +
+                                    " and " + std::to_string(j) + ")");
+      }
+    }
+  }
+  std::vector<std::string> names;
+  names.reserve(entries.size());
+  for (const TableEntry& e : entries) names.push_back(e.make().name);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      if (names[i] == names[j]) {
+        throw std::invalid_argument("registry: sections '" + entries[i].section + "' and '" +
+                                    entries[j].section + "' both register algorithm '" +
+                                    names[i] + "'");
+      }
+    }
+  }
+}
 
 const TableEntry& entry(const std::string& section) {
   for (const TableEntry& e : table()) {

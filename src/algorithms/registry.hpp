@@ -29,4 +29,11 @@ std::span<const TableEntry> table1();
 /// Entry by paper section; throws std::out_of_range when absent.
 const TableEntry& entry(const std::string& section);
 
+/// Throws std::invalid_argument when two entries share a paper section or
+/// two `make()` results share an algorithm name — either would make
+/// section/name lookups (entry(), campaign specs, algo_lint output) silently
+/// ambiguous.  table1() applies this to the built-in table at registration;
+/// exposed so tests can exercise it on synthetic tables.
+void check_unique(std::span<const TableEntry> entries);
+
 }  // namespace lumi::algorithms

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "src/algorithms/registry.hpp"
+#include "src/analysis/rule_analysis.hpp"
 #include "src/campaign/thread_pool.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace_event.hpp"
@@ -132,6 +133,10 @@ Expansion expand(const Matrix& matrix) {
   for (const std::string& section : matrix.sections) {
     const algorithms::TableEntry& e = algorithms::entry(section);  // throws if unknown
     const Algorithm alg = e.make();
+    // Static gate before any job runs: an ill-formed rule table (determinism
+    // conflict, wall hazard, dead rule, ...) would silently skew every sweep
+    // cell built from it.  The throw carries the analyzer's findings text.
+    analysis::require_well_formed(alg);
     for (int r : rows) {
       for (int c : cols) {
         if (r < alg.min_rows || c < alg.min_cols) {

@@ -117,7 +117,10 @@ struct Expansion {
 };
 
 /// Expands the matrix in deterministic order (section-major, then rows, cols,
-/// scheduler, seed).  Throws std::out_of_range on unknown sections.
+/// scheduler, seed).  Throws std::out_of_range on unknown sections and
+/// std::invalid_argument (carrying the analyzer's findings) when a section's
+/// rule table fails the semantic analyzer — ill-formed algorithms are
+/// rejected before a single job runs.
 Expansion expand(const Matrix& matrix);
 
 /// Executes one job (used by the runner; exposed for tests/benches).

@@ -1,5 +1,6 @@
 #include "src/core/algorithm.hpp"
 
+#include <array>
 #include <stdexcept>
 
 #include "src/core/view.hpp"
@@ -33,6 +34,31 @@ Configuration Algorithm::initial_configuration(const Grid& grid,
   robots.reserve(initial_robots.size());
   for (const auto& [pos, color] : initial_robots) robots.push_back(Robot{pos, color});
   return Configuration(grid, std::move(robots), mem);
+}
+
+std::vector<Color> Algorithm::reachable_colors() const {
+  std::array<bool, kMaxColors> lit{};
+  for (const auto& [pos, color] : initial_robots) {
+    (void)pos;
+    lit[static_cast<std::size_t>(color)] = true;
+  }
+  // Fixed point of the recoloring graph: at most kMaxColors rounds.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : rules) {
+      if (lit[static_cast<std::size_t>(rule.self)] &&
+          !lit[static_cast<std::size_t>(rule.new_color)]) {
+        lit[static_cast<std::size_t>(rule.new_color)] = true;
+        changed = true;
+      }
+    }
+  }
+  std::vector<Color> out;
+  for (int i = 0; i < kMaxColors; ++i) {
+    if (lit[static_cast<std::size_t>(i)]) out.push_back(static_cast<Color>(i));
+  }
+  return out;
 }
 
 const Rule* Algorithm::find_rule(const std::string& label) const {

@@ -45,9 +45,19 @@ struct Algorithm {
 
   const Rule* find_rule(const std::string& label) const;
 
+  /// Colors reachable from the initial lights through the rules'
+  /// `self -> new_color` recoloring graph, ascending.  A declared color
+  /// outside this set can never be lit by any execution — the rule-table
+  /// analyzer (src/analysis/rule_analysis.hpp) reports such colors and the
+  /// rules keyed on them as dead.
+  std::vector<Color> reachable_colors() const;
+
   /// Structural sanity checks; throws std::invalid_argument on violation:
   /// colors within num_colors, guard offsets within phi, movement targets
   /// statically on-grid (pattern Empty or Multiset), grid minima sane.
+  /// The deeper semantic contracts (guard disjointness, symmetry-unambiguous
+  /// moves, color reachability) are the rule-table analyzer's job:
+  /// analysis::analyze in src/analysis/rule_analysis.hpp.
   void validate() const;
 };
 

@@ -13,4 +13,29 @@ std::string CellPattern::to_string() const {
   return "?";
 }
 
+std::optional<CellPattern> meet(const CellPattern& a, const CellPattern& b) {
+  using Kind = CellPattern::Kind;
+  // Normalize Multiset{} to Empty so the case analysis below can assume
+  // every Multiset requires at least one robot.
+  const auto canonical = [](const CellPattern& p) {
+    return p.kind() == Kind::Multiset && p.multiset().empty() ? CellPattern::empty() : p;
+  };
+  const CellPattern x = canonical(a);
+  const CellPattern y = canonical(b);
+  if (x.kind() == Kind::Any) return y;
+  if (y.kind() == Kind::Any) return x;
+  // Gray admits {empty, wall} and nothing hosting a robot, so it refines to
+  // whichever robot-free kind the other side pins — and clashes with any
+  // (now guaranteed nonempty) multiset.
+  if (x.kind() == Kind::EmptyOrWall) {
+    return y.kind() == Kind::Multiset ? std::nullopt : std::optional<CellPattern>(y);
+  }
+  if (y.kind() == Kind::EmptyOrWall) {
+    return x.kind() == Kind::Multiset ? std::nullopt : std::optional<CellPattern>(x);
+  }
+  if (x.kind() != y.kind()) return std::nullopt;  // Empty/Wall/Multiset are pairwise disjoint
+  if (x.kind() == Kind::Multiset && !(x.multiset() == y.multiset())) return std::nullopt;
+  return x;
+}
+
 }  // namespace lumi

@@ -7,6 +7,7 @@
 // not used by the fourteen paper reproductions.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "src/core/configuration.hpp"
@@ -55,5 +56,14 @@ class CellPattern {
   Kind kind_ = Kind::EmptyOrWall;
   ColorMultiset ms_;
 };
+
+/// Exact intersection of two patterns over cell contents: the pattern matched
+/// by precisely the contents both operands match, or nullopt when no content
+/// satisfies both.  An explicit empty multiset is normalized to Empty first,
+/// so `meet` never distinguishes the two spellings of "node with no robot".
+/// This is the decision procedure behind the rule-table analyzer
+/// (src/analysis/rule_analysis.hpp): guard domains are finite, so pairwise
+/// satisfiability reduces to a per-cell meet.
+std::optional<CellPattern> meet(const CellPattern& a, const CellPattern& b);
 
 }  // namespace lumi

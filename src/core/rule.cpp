@@ -41,6 +41,14 @@ CellPattern Rule::pattern_at(Vec offset) const {
   return CellPattern::gray();
 }
 
+int Rule::count_cells_at(Vec offset) const {
+  int n = 0;
+  for (const auto& [o, p] : cells) {
+    if (o == offset) n += 1;
+  }
+  return n;
+}
+
 std::string Rule::to_string() const {
   // Sequential appends rather than operator+ chains: gcc-12's inliner raises
   // a spurious -Wrestrict (PR105329) on the chained form.

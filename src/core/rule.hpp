@@ -34,6 +34,11 @@ struct Rule {
   /// (which includes the robot itself).
   CellPattern pattern_at(Vec offset) const;
 
+  /// How many guard entries name `offset`.  pattern_at honors only the
+  /// first, so a count above one means later entries are silently shadowed
+  /// at match time — the rule-table analyzer flags them.
+  int count_cells_at(Vec offset) const;
+
   std::string to_string() const;
 };
 

@@ -25,8 +25,23 @@ namespace lumi::dsl {
 
 std::string serialize(const Algorithm& alg);
 
-/// Parses the format above; throws std::invalid_argument with a line number
-/// on malformed input.  The result is validated (Algorithm::validate).
+struct ParseOptions {
+  /// Run Algorithm::validate() on the result (shallow structural checks).
+  /// Off is what lets deliberately defective rule tables — the analyzer's
+  /// lint fixtures — be loaded and handed to analysis::analyze at all.
+  bool validate = true;
+  /// Additionally require the parsed table to pass the semantic rule-table
+  /// analyzer (analysis::require_well_formed): no determinism conflicts,
+  /// ambiguous moves, dead rules, color-flow errors or wall hazards.
+  bool strict = false;
+};
+
+/// Parses the format above; throws std::invalid_argument naming the line and
+/// quoting the offending token on malformed input.  Lines may end in CRLF or
+/// trailing whitespace.  Checks applied to the result follow `opts`.
+Algorithm parse(const std::string& text, const ParseOptions& opts);
+
+/// parse(text, ParseOptions{}) — validated, non-strict.
 Algorithm parse(const std::string& text);
 
 }  // namespace lumi::dsl

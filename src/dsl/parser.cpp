@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/analysis/rule_analysis.hpp"
 #include "src/dsl/dsl.hpp"
 
 namespace lumi::dsl {
@@ -11,6 +12,21 @@ namespace {
 
 [[noreturn]] void fail(int line, const std::string& what) {
   throw std::invalid_argument("dsl parse error (line " + std::to_string(line) + "): " + what);
+}
+
+/// Strict integer parse: the whole token must be a number.  std::stoi alone
+/// would accept "2x" (silently dropping the suffix) and, worse, throw a bare
+/// std::invalid_argument with no line or token context on "two".
+int parse_int(const std::string& s, int line, const std::string& what) {
+  std::size_t used = 0;
+  int value = 0;
+  try {
+    value = std::stoi(s, &used);
+  } catch (const std::exception&) {
+    fail(line, what + " expects an integer, got '" + s + "'");
+  }
+  if (used != s.size()) fail(line, what + " expects an integer, got '" + s + "'");
+  return value;
 }
 
 std::vector<std::string> tokenize(const std::string& line) {
@@ -122,7 +138,7 @@ void parse_rule(const std::vector<std::string>& tokens, int line, Algorithm& alg
 
 }  // namespace
 
-Algorithm parse(const std::string& text) {
+Algorithm parse(const std::string& text, const ParseOptions& opts) {
   Algorithm alg;
   alg.min_rows = 2;
   alg.min_cols = 3;
@@ -132,6 +148,11 @@ Algorithm parse(const std::string& text) {
   bool got_name = false;
   while (std::getline(in, raw)) {
     line_no += 1;
+    // Accept CRLF line endings and trailing whitespace: files authored on
+    // other platforms or touched by editors must parse identically.
+    while (!raw.empty() && (raw.back() == '\r' || raw.back() == ' ' || raw.back() == '\t')) {
+      raw.pop_back();
+    }
     const std::vector<std::string> tokens = tokenize(raw);
     if (tokens.empty()) continue;
     const std::string& head = tokens[0];
@@ -155,10 +176,10 @@ Algorithm parse(const std::string& text) {
       }
     } else if (head == "phi") {
       if (tokens.size() != 2) fail(line_no, "phi expects one value");
-      alg.phi = std::stoi(tokens[1]);
+      alg.phi = parse_int(tokens[1], line_no, "phi");
     } else if (head == "colors") {
       if (tokens.size() != 2) fail(line_no, "colors expects one value");
-      alg.num_colors = std::stoi(tokens[1]);
+      alg.num_colors = parse_int(tokens[1], line_no, "colors");
     } else if (head == "chirality") {
       if (tokens.size() != 2) fail(line_no, "chirality expects one value");
       if (tokens[1] == "common") {
@@ -170,8 +191,8 @@ Algorithm parse(const std::string& text) {
       }
     } else if (head == "min-grid") {
       if (tokens.size() != 3) fail(line_no, "min-grid expects rows and cols");
-      alg.min_rows = std::stoi(tokens[1]);
-      alg.min_cols = std::stoi(tokens[2]);
+      alg.min_rows = parse_int(tokens[1], line_no, "min-grid rows");
+      alg.min_cols = parse_int(tokens[2], line_no, "min-grid cols");
     } else if (head == "init") {
       for (std::size_t i = 1; i < tokens.size(); ++i) {
         const std::size_t eq = tokens[i].rfind('=');
@@ -186,8 +207,11 @@ Algorithm parse(const std::string& text) {
     }
   }
   if (!got_name) throw std::invalid_argument("dsl parse error: missing 'algorithm <name>'");
-  alg.validate();
+  if (opts.validate) alg.validate();
+  if (opts.strict) analysis::require_well_formed(alg);
   return alg;
 }
+
+Algorithm parse(const std::string& text) { return parse(text, ParseOptions{}); }
 
 }  // namespace lumi::dsl

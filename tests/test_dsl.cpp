@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/algorithms/algorithms.hpp"
+#include "src/algorithms/registry.hpp"
 #include "src/analysis/verifier.hpp"
 
 namespace lumi {
@@ -98,6 +99,83 @@ TEST(Dsl, RejectsMalformedRules) {
 
 TEST(Dsl, MissingNameRejected) {
   EXPECT_THROW(dsl::parse("model fsync\n"), std::invalid_argument);
+}
+
+TEST(Dsl, RegistryRoundTripIsIdentity) {
+  // serialize -> parse -> serialize is a fixed point for every Table 1 entry,
+  // through the registry (not the raw factory list) so a new row is covered
+  // the day it is registered.
+  for (const algorithms::TableEntry& e : algorithms::table1()) {
+    const Algorithm original = e.make();
+    const std::string text = dsl::serialize(original);
+    const Algorithm parsed = dsl::parse(text);
+    EXPECT_EQ(dsl::serialize(parsed), text) << e.section;
+  }
+}
+
+TEST(Dsl, AcceptsCrlfAndTrailingWhitespace) {
+  const std::string unix_text = dsl::serialize(algorithms::algorithm1());
+  // Re-author the same file with CRLF endings and trailing spaces/tabs.
+  std::string dirty;
+  for (char c : unix_text) {
+    if (c == '\n') {
+      dirty += " \t\r\n";
+    } else {
+      dirty += c;
+    }
+  }
+  const Algorithm parsed = dsl::parse(dirty);
+  EXPECT_EQ(dsl::serialize(parsed), unix_text);
+}
+
+TEST(Dsl, MalformedIntegersQuoteTheToken) {
+  const auto expect_quoted = [](const std::string& text, const std::string& token) {
+    try {
+      dsl::parse(text);
+      FAIL() << "expected parse error for token " << token;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("'" + token + "'"), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find("line "), std::string::npos) << e.what();
+    }
+  };
+  expect_quoted("algorithm x\nphi two\n", "two");
+  expect_quoted("algorithm x\nphi 2x\n", "2x");    // stoi alone would accept this
+  expect_quoted("algorithm x\ncolors many\n", "many");
+  expect_quoted("algorithm x\nmin-grid 2 wide\n", "wide");
+}
+
+TEST(Dsl, ValidateOffLoadsDefectiveTables) {
+  // A movement into an unpinned cell fails Algorithm::validate(); with
+  // validation off the table still loads — that is what lets the analyzer's
+  // defect fixtures be analyzed at all.
+  const std::string text = "algorithm broken\nphi 1\ncolors 1\ninit (0,0)=G\n"
+                           "rule R1 self=G -> G,N\n";
+  EXPECT_THROW(dsl::parse(text), std::invalid_argument);
+  const Algorithm alg = dsl::parse(text, dsl::ParseOptions{.validate = false});
+  EXPECT_EQ(alg.rules.size(), 1u);
+}
+
+TEST(Dsl, StrictModeRunsTheAnalyzer) {
+  // Well-formed under validate(), but semantically conflicting: two rules
+  // enabled on the same view with different actions.  Plain parse accepts;
+  // strict parse rejects with the analyzer's findings.
+  const std::string conflicting =
+      "algorithm strict-conflict\nphi 1\ncolors 1\nmin-grid 3 3\ninit (1,0)=G\n"
+      "rule R1 self=G N=empty E=empty S=empty W=wall -> G,N\n"
+      "rule R2 self=G N=empty E=empty -> G,E\n";
+  EXPECT_NO_THROW(dsl::parse(conflicting));
+  try {
+    dsl::parse(conflicting, dsl::ParseOptions{.strict = true});
+    FAIL() << "expected strict parse to reject the conflicting table";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("conflict"), std::string::npos) << e.what();
+  }
+  // Every registry algorithm survives strict parsing of its own serialization.
+  for (const algorithms::TableEntry& e : algorithms::table1()) {
+    EXPECT_NO_THROW(
+        dsl::parse(dsl::serialize(e.make()), dsl::ParseOptions{.strict = true}))
+        << e.section;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,346 @@
+// The semantic rule-table analyzer (src/analysis/rule_analysis.hpp):
+//  - the CellPattern meet is the exact intersection over cell contents,
+//  - every Table 1 registry algorithm analyzes clean (the CI pin),
+//  - each defect class fires on a minimally-perturbed registry algorithm,
+//  - every conflict/ambiguous-move witness replays through BOTH matchers
+//    (compiled and naive reference) exhibiting the two reported actions,
+//  - one conflict is demonstrated engine-level: its witness is the initial
+//    view of a real configuration.
+#include "src/analysis/rule_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/algorithms/algorithms.hpp"
+#include "src/algorithms/registry.hpp"
+#include "src/campaign/campaign.hpp"
+#include "src/core/matching.hpp"
+#include "src/dsl/dsl.hpp"
+
+namespace lumi {
+namespace {
+
+using analysis::AnalysisReport;
+using analysis::DefectClass;
+using analysis::Finding;
+
+bool has_class(const AnalysisReport& report, DefectClass cls) {
+  for (const Finding& f : report.findings) {
+    if (f.cls == cls) return true;
+  }
+  return false;
+}
+
+const Finding& first_of(const AnalysisReport& report, DefectClass cls) {
+  for (const Finding& f : report.findings) {
+    if (f.cls == cls) return f;
+  }
+  throw std::logic_error("no finding of the requested class");
+}
+
+/// The two global-frame behaviors a conflict finding claims, recomputed from
+/// the algorithm independently of the analyzer's internals.
+std::pair<Action, Action> claimed_actions(const Algorithm& alg, const Finding& f) {
+  Action a;
+  a.new_color = alg.rules[static_cast<std::size_t>(f.rule_index)].new_color;
+  if (const auto& m = alg.rules[static_cast<std::size_t>(f.rule_index)].move) {
+    a.move = apply(f.sym, *m);
+  }
+  Action b;
+  b.new_color = alg.rules[static_cast<std::size_t>(f.other_rule_index)].new_color;
+  if (const auto& m = alg.rules[static_cast<std::size_t>(f.other_rule_index)].move) {
+    b.move = apply(f.other_sym, *m);
+  }
+  return {a, b};
+}
+
+/// Replays the witness through a matcher's action list: both claimed
+/// behaviors must be enabled.
+bool witness_exhibits(const std::vector<Action>& actions, const std::pair<Action, Action>& ab) {
+  bool saw_a = false;
+  bool saw_b = false;
+  for (const Action& act : actions) {
+    saw_a = saw_a || act.same_behavior(ab.first);
+    saw_b = saw_b || act.same_behavior(ab.second);
+  }
+  return saw_a && saw_b;
+}
+
+void expect_certified_both_matchers(const Algorithm& alg, const Finding& f) {
+  ASSERT_TRUE(f.witness.has_value()) << f.to_string();
+  EXPECT_TRUE(f.certified) << f.to_string();
+  EXPECT_TRUE(analysis::certify_conflict(alg, f)) << f.to_string();
+  const Snapshot snap = f.witness->to_snapshot();
+  const auto ab = claimed_actions(alg, f);
+  EXPECT_TRUE(witness_exhibits(enabled_actions(alg, snap), ab)) << f.to_string();
+  EXPECT_TRUE(witness_exhibits(naive_enabled_actions(alg, snap), ab)) << f.to_string();
+}
+
+// --- the meet ----------------------------------------------------------------
+
+TEST(CellPatternMeet, Algebra) {
+  const CellPattern gray = CellPattern::gray();
+  const CellPattern empty = CellPattern::empty();
+  const CellPattern wall = CellPattern::wall();
+  const CellPattern any = CellPattern::any();
+  const CellPattern g1 = CellPattern::exactly(ColorMultiset{Color::G});
+  const CellPattern w1 = CellPattern::exactly(ColorMultiset{Color::W});
+
+  // Any is the identity.
+  EXPECT_EQ(meet(any, g1), g1);
+  EXPECT_EQ(meet(wall, any), wall);
+  // Gray = empty-or-wall: narrows against either, excludes robots.
+  EXPECT_EQ(meet(gray, empty), empty);
+  EXPECT_EQ(meet(gray, wall), wall);
+  EXPECT_EQ(meet(gray, gray), gray);
+  EXPECT_EQ(meet(gray, g1), std::nullopt);
+  // Distinct exact kinds are disjoint.
+  EXPECT_EQ(meet(empty, wall), std::nullopt);
+  EXPECT_EQ(meet(g1, w1), std::nullopt);
+  EXPECT_EQ(meet(g1, empty), std::nullopt);
+  EXPECT_EQ(meet(g1, g1), g1);
+  // The empty multiset is the same content set as Empty.
+  const CellPattern ms0 = CellPattern::exactly(ColorMultiset{});
+  EXPECT_EQ(meet(ms0, empty), empty);
+  EXPECT_EQ(meet(ms0, gray), empty);
+  // Commutative on every pair above.
+  for (const CellPattern& a : {gray, empty, wall, any, g1, w1, ms0}) {
+    for (const CellPattern& b : {gray, empty, wall, any, g1, w1, ms0}) {
+      EXPECT_EQ(meet(a, b), meet(b, a));
+    }
+  }
+}
+
+TEST(CellPatternMeet, AgreesWithMatchesOnAllContents) {
+  // Exhaustive soundness/completeness over a content sample: meet(a,b)
+  // matches exactly the contents both a and b match.
+  std::vector<CellContent> contents;
+  CellContent c;
+  contents.push_back(c);  // empty node
+  c.wall = true;
+  contents.push_back(c);  // wall
+  c.wall = false;
+  c.robots = ColorMultiset{Color::G};
+  contents.push_back(c);
+  c.robots = ColorMultiset{Color::G, Color::W};
+  contents.push_back(c);
+  const std::vector<CellPattern> patterns = {
+      CellPattern::gray(),  CellPattern::empty(),
+      CellPattern::wall(),  CellPattern::any(),
+      CellPattern::exactly(ColorMultiset{Color::G}),
+      CellPattern::exactly(ColorMultiset{Color::G, Color::W}),
+  };
+  for (const CellPattern& a : patterns) {
+    for (const CellPattern& b : patterns) {
+      const auto m = meet(a, b);
+      for (const CellContent& cell : contents) {
+        const bool both = a.matches(cell) && b.matches(cell);
+        EXPECT_EQ(m.has_value() && m->matches(cell), both);
+      }
+    }
+  }
+}
+
+TEST(Algorithm, ReachableColors) {
+  Algorithm alg;
+  alg.name = "reach";
+  alg.num_colors = 3;
+  alg.initial_robots.emplace_back(Vec{0, 0}, Color::G);
+  alg.rules.push_back(RuleBuilder("R1", Color::G).becomes(Color::W).idle().build());
+  // B is declared but no chain ever lights it (the W->B rule exists, but only
+  // fires once W is lit — which it is, through R1).
+  alg.rules.push_back(RuleBuilder("R2", Color::W).becomes(Color::B).idle().build());
+  const std::vector<Color> reached = alg.reachable_colors();
+  EXPECT_EQ(reached, (std::vector<Color>{Color::G, Color::W, Color::B}));
+
+  Algorithm isolated = alg;
+  isolated.rules.erase(isolated.rules.begin());  // drop G->W: W and B unreachable
+  EXPECT_EQ(isolated.reachable_colors(), std::vector<Color>{Color::G});
+}
+
+// --- the CI pin --------------------------------------------------------------
+
+TEST(RuleAnalysis, EveryRegistryAlgorithmIsClean) {
+  for (const algorithms::TableEntry& e : algorithms::table1()) {
+    const Algorithm alg = e.make();
+    const AnalysisReport report = analysis::analyze(alg);
+    EXPECT_TRUE(report.clean()) << e.section << ":\n" << report.to_string();
+    EXPECT_NO_THROW(analysis::require_well_formed(alg)) << e.section;
+  }
+}
+
+// --- one mutation per defect class, on real registry algorithms --------------
+
+TEST(RuleAnalysis, DuplicatedRuleWithDifferentActionConflicts) {
+  Algorithm alg = algorithms::algorithm1();
+  Rule twin = alg.rules[0];
+  twin.label += "-twin";
+  // Same guard, different action: recolor to the other palette color.
+  twin.new_color = twin.new_color == Color::G ? Color::W : Color::G;
+  alg.rules.push_back(twin);
+  const AnalysisReport report = analysis::analyze(alg);
+  ASSERT_TRUE(has_class(report, DefectClass::DeterminismConflict)) << report.to_string();
+  const Finding& f = first_of(report, DefectClass::DeterminismConflict);
+  EXPECT_EQ(f.severity, analysis::Severity::Error);
+  expect_certified_both_matchers(alg, f);
+}
+
+TEST(RuleAnalysis, SymmetricGuardWithMoveIsAmbiguous) {
+  Algorithm alg = algorithms::algorithm1();
+  const Color self = alg.initial_robots[0].second;
+  // All-gray guard (center defaults to {self}) is invariant under every
+  // rotation, yet the move is frame-dependent.
+  alg.rules.push_back(RuleBuilder("AMB", self).moves(Dir::North).build());
+  const AnalysisReport report = analysis::analyze(alg);
+  ASSERT_TRUE(has_class(report, DefectClass::SymmetryAmbiguousMove)) << report.to_string();
+  expect_certified_both_matchers(alg, first_of(report, DefectClass::SymmetryAmbiguousMove));
+}
+
+TEST(RuleAnalysis, OverBudgetCenterIsDead) {
+  Algorithm alg = algorithms::algorithm1();
+  Rule& r0 = alg.rules[0];
+  ColorMultiset crowd;
+  for (int i = 0; i <= alg.num_robots(); ++i) crowd.add(r0.self);
+  for (auto& [offset, pattern] : r0.cells) {
+    if (offset == Vec{0, 0}) pattern = CellPattern::exactly(crowd);
+  }
+  const AnalysisReport report = analysis::analyze(alg);
+  ASSERT_TRUE(has_class(report, DefectClass::DeadRule)) << report.to_string();
+  EXPECT_EQ(first_of(report, DefectClass::DeadRule).rule, r0.label);
+}
+
+TEST(RuleAnalysis, OverstatedPaletteIsColorFlow) {
+  Algorithm alg = algorithms::algorithm1();
+  ASSERT_LT(alg.num_colors, kMaxColors);
+  alg.num_colors += 1;  // declares a color nothing ever uses
+  const AnalysisReport report = analysis::analyze(alg);
+  ASSERT_TRUE(has_class(report, DefectClass::ColorFlow)) << report.to_string();
+  EXPECT_EQ(first_of(report, DefectClass::ColorFlow).severity, analysis::Severity::Warning);
+}
+
+TEST(RuleAnalysis, MoveIntoRequiredWallIsHazard) {
+  Algorithm alg = algorithms::algorithm1();
+  // Perturb the first moving rule: require its target cell to be a wall.
+  bool mutated = false;
+  for (Rule& rule : alg.rules) {
+    if (!rule.move.has_value()) continue;
+    const Vec target = dir_vec(*rule.move);
+    bool found = false;
+    for (auto& [offset, pattern] : rule.cells) {
+      if (offset == target) {
+        pattern = CellPattern::wall();
+        found = true;
+      }
+    }
+    if (!found) rule.cells.emplace_back(target, CellPattern::wall());
+    mutated = true;
+    break;
+  }
+  ASSERT_TRUE(mutated);
+  const AnalysisReport report = analysis::analyze(alg);
+  ASSERT_TRUE(has_class(report, DefectClass::WallHazard)) << report.to_string();
+  EXPECT_EQ(first_of(report, DefectClass::WallHazard).severity, analysis::Severity::Error);
+}
+
+TEST(RuleAnalysis, UnpinnedMoveTargetIsHazardWarning) {
+  Algorithm alg = algorithms::algorithm1();
+  const Color self = alg.initial_robots[0].second;
+  // Break the rotational symmetry (W=wall) so only the hazard fires.
+  alg.rules.push_back(
+      RuleBuilder("LOOSE", self).cell("W", CellPattern::wall()).moves(Dir::North).build());
+  const AnalysisReport report = analysis::analyze(alg);
+  ASSERT_TRUE(has_class(report, DefectClass::WallHazard)) << report.to_string();
+  const Finding& f = first_of(report, DefectClass::WallHazard);
+  EXPECT_EQ(f.severity, analysis::Severity::Warning);
+  EXPECT_EQ(f.rule, "LOOSE");
+}
+
+TEST(RuleAnalysis, RequireWellFormedThrowsWithFindings) {
+  Algorithm alg = algorithms::algorithm1();
+  Rule twin = alg.rules[0];
+  twin.label += "-twin";
+  twin.new_color = twin.new_color == Color::G ? Color::W : Color::G;
+  alg.rules.push_back(twin);
+  try {
+    analysis::require_well_formed(alg);
+    FAIL() << "expected require_well_formed to throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("conflict"), std::string::npos) << what;
+    EXPECT_NE(what.find(twin.label), std::string::npos) << what;
+  }
+}
+
+// --- engine-level demonstration ----------------------------------------------
+
+TEST(RuleAnalysis, ConflictWitnessManifestsOnARealConfiguration) {
+  // The conflicting pair from the lint fixtures, placed so that the initial
+  // configuration's robot observes exactly the analyzer's witness view: the
+  // static finding predicts a real runtime ambiguity from step zero.
+  const std::string text =
+      "algorithm engine-conflict\nphi 1\ncolors 1\nmin-grid 3 3\ninit (1,0)=G\n"
+      "rule R1 self=G N=empty E=empty S=empty W=wall -> G,N\n"
+      "rule R2 self=G N=empty E=empty -> G,E\n";
+  const Algorithm alg = dsl::parse(text);
+  const AnalysisReport report = analysis::analyze(alg);
+  ASSERT_TRUE(has_class(report, DefectClass::DeterminismConflict)) << report.to_string();
+  const Finding& f = first_of(report, DefectClass::DeterminismConflict);
+  expect_certified_both_matchers(alg, f);
+
+  const Configuration config = alg.initial_configuration(Grid(3, 3));
+  const Snapshot live = take_snapshot(config, 0, alg.phi);
+  const auto ab = claimed_actions(alg, f);
+  EXPECT_TRUE(witness_exhibits(enabled_actions(alg, live), ab));
+  // And the live view IS the witness, cell for cell.
+  const Snapshot synthetic = f.witness->to_snapshot();
+  for (int w = 0; w < ViewKernel::get(alg.phi).size(); ++w) {
+    const auto i = static_cast<std::size_t>(w);
+    EXPECT_EQ(live.cells[i].wall, synthetic.cells[i].wall) << w;
+    EXPECT_EQ(live.cells[i].robots, synthetic.cells[i].robots) << w;
+  }
+}
+
+// --- gates -------------------------------------------------------------------
+
+TEST(RuleAnalysis, CampaignExpansionRejectsNothingToday) {
+  // The expansion gate runs the analyzer on every section; the shipped
+  // registry passes it (an ill-formed table would throw with findings text —
+  // covered via require_well_formed above).
+  campaign::Matrix matrix;
+  matrix.sections = campaign::paper_sections();
+  matrix.rows = campaign::IntRange{4, 4, 1};
+  matrix.cols = campaign::IntRange{4, 4, 1};
+  matrix.seeds = {1};
+  EXPECT_NO_THROW(campaign::expand(matrix));
+}
+
+TEST(Registry, RejectsDuplicateSectionsAndNames) {
+  EXPECT_NO_THROW(algorithms::check_unique(algorithms::table1()));
+
+  std::vector<algorithms::TableEntry> dup_section(algorithms::table1().begin(),
+                                                  algorithms::table1().end());
+  dup_section.push_back(dup_section.front());
+  try {
+    algorithms::check_unique(dup_section);
+    FAIL() << "expected duplicate section to throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate Table 1 section"), std::string::npos)
+        << e.what();
+  }
+
+  std::vector<algorithms::TableEntry> dup_name(algorithms::table1().begin(),
+                                               algorithms::table1().end());
+  dup_name.push_back(dup_name.front());
+  dup_name.back().section = "9.9.9";  // unique section, same algorithm name
+  try {
+    algorithms::check_unique(dup_name);
+    FAIL() << "expected duplicate algorithm name to throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("both register algorithm"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace lumi
