@@ -7,9 +7,11 @@
 // contract), if the shard merge is not byte-identical to the direct run, if
 // the plain-grid snapshot path costs more than 20% over the seed replica
 // (a per-cell topology dispatch regression reads 2-3x; the budget leaves
-// room for the fixed per-call dispatch the replica doesn't pay), or if
+// room for the fixed per-call dispatch the replica doesn't pay), if
 // running with telemetry fully enabled (metrics registry + trace spans)
-// costs more than 3% of jobs/s over the disabled default.
+// costs more than 3% of jobs/s over the disabled default, or if arming
+// anomaly capture (--record-anomalies) on an all-terminating matrix — where
+// nothing ever records — costs more than 3% over a plain run.
 //
 // Usage: bench_campaign [--large] [--json PATH]
 // --json writes the measured rates as machine-readable JSON (the campaign
@@ -474,6 +476,39 @@ int main(int argc, char** argv) {
   }
   std::printf("summaries identical with telemetry on and off: yes\n");
 
+  // --- flight-recorder off-path overhead ------------------------------------
+  // The recorder hooks in the engines are a null-pointer test per instant
+  // when no recorder is attached; --record-anomalies additionally checks each
+  // finished job's failure string in the campaign sink.  Both must stay
+  // near-free for the common case: every job of the micro matrix terminates,
+  // so a capture-armed pass records nothing and measures pure hook cost.
+  // Same paired-median methodology as the gates above.
+  double recorder_ratio = 0.0;
+  bool recorder_summaries_match = true;
+  const AnomalyCapture bench_capture{"bench_campaign.recordings", 8};
+  for (int attempt = 0; attempt < 3 && recorder_ratio < 0.97; ++attempt) {
+    std::vector<double> ratios;
+    ratios.reserve(9);
+    for (int pass = 0; pass < 9; ++pass) {
+      const CampaignSummary off = run_campaign(micro_expansion, 1, 0);
+      const CampaignSummary armed = run_campaign(micro_expansion, 1, 0, &bench_capture);
+      recorder_summaries_match = recorder_summaries_match && same_summary(off, armed);
+      ratios.push_back(off.wall_seconds / armed.wall_seconds);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    const double median = ratios[ratios.size() / 2];
+    if (median > recorder_ratio) recorder_ratio = median;
+    if (recorder_ratio < 0.97) {
+      std::printf("  recorder median %.3fx below the floor; re-measuring\n", recorder_ratio);
+    }
+  }
+  std::printf("  capture-armed micro throughput: %.3fx of plain\n", recorder_ratio);
+  if (!recorder_summaries_match) {
+    std::printf("FAIL: summaries differ with anomaly capture armed vs off\n");
+    return 1;
+  }
+  std::printf("summaries identical with anomaly capture armed and off: yes\n");
+
   // Observed telemetry for the JSON artifact: one parallel campaign for the
   // work-stealing picture, one orchestrated run at the fastest flush
   // interval for checkpoint-flush latency as the flusher actually sees it.
@@ -534,6 +569,7 @@ int main(int argc, char** argv) {
                   "  \"grid_reference_snapshot_ns\": %.1f,\n"
                   "  \"grid_topology_overhead\": %.3f,\n"
                   "  \"telemetry_enabled_ratio\": %.3f,\n"
+                  "  \"recorder_off_ratio\": %.3f,\n"
                   "  \"pool_tasks_executed\": %lld,\n"
                   "  \"pool_tasks_stolen\": %lld,\n"
                   "  \"pool_steal_share\": %.3f,\n"
@@ -547,8 +583,8 @@ int main(int argc, char** argv) {
                   topo_rates[0].jobs_per_sec, topo_rates[1].jobs_per_sec,
                   topo_rates[2].jobs_per_sec, topo_rates[3].jobs_per_sec,
                   overhead.topology_ns, overhead.reference_ns, overhead.ratio(),
-                  telemetry_ratio, pool_executed, pool_stolen, pool_steal_share, flush_count,
-                  flush_ms_mean);
+                  telemetry_ratio, recorder_ratio, pool_executed, pool_stolen, pool_steal_share,
+                  flush_count, flush_ms_mean);
     if (!lumi::write_text_file(json_path, json)) {
       std::printf("FAIL: cannot write %s\n", json_path.c_str());
       return 1;
@@ -585,5 +621,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("telemetry-enabled throughput within the 3%% budget: yes\n");
+  if (recorder_ratio < 0.97) {
+    std::printf("FAIL: capture-armed micro throughput below 97%% of plain (%.3fx)\n",
+                recorder_ratio);
+    return 1;
+  }
+  std::printf("recorder off-path overhead within the 3%% budget: yes\n");
   return 0;
 }

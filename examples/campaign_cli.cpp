@@ -14,6 +14,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,6 +47,9 @@ struct Args {
   std::string json_path;
   std::string metrics_path;  ///< telemetry snapshot JSON (docs/FORMATS.md#metrics-json)
   std::string trace_path;    ///< Chrome trace_event JSON (chrome://tracing, Perfetto)
+  /// .lumirec flight recordings of the first K anomalous jobs
+  /// (docs/OBSERVABILITY.md#flight-recorder); result-inert.
+  campaign::AnomalyCapture record_anomalies;
   bool progress = false;     ///< force the live meter even when stderr is not a TTY
   bool quiet = false;
   bool validate_only = false;  ///< expand + analyze the matrix, run nothing
@@ -131,6 +136,19 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.metrics_path = v;
     } else if (const char* v = value("--trace-out=")) {
       args.trace_path = v;
+    } else if (const char* v = value("--record-anomalies=")) {
+      // DIR or DIR,K — capture the first K anomalous jobs as .lumirec files.
+      const std::string spec = v;
+      const std::size_t comma = spec.rfind(',');
+      if (comma != std::string::npos) {
+        const long k = std::atol(spec.c_str() + comma + 1);
+        if (k < 1) return bad_value();
+        args.record_anomalies.dir = spec.substr(0, comma);
+        args.record_anomalies.limit = static_cast<std::size_t>(k);
+      } else {
+        args.record_anomalies.dir = spec;
+      }
+      if (args.record_anomalies.dir.empty()) return bad_value();
     } else if (const char* v = value("--shard=")) {
       const auto spec = campaign::shard_from_string(v);
       if (!spec) return bad_value();
@@ -226,7 +244,7 @@ int main(int argc, char** argv) {
                  "async-random,async-central,async-stress]\n"
                  "          [--seeds=N] [--threads=N] [--batch=N] [--max-steps=N]\n"
                  "          [--csv=PATH] [--json=PATH] [--metrics-out=PATH] [--trace-out=PATH]\n"
-                 "          [--progress] [--quiet] [--validate-only]\n"
+                 "          [--record-anomalies=DIR[,K]] [--progress] [--quiet] [--validate-only]\n"
                  "          [--shard=I/N] [--checkpoint=PATH] [--flush-interval=SEC]\n"
                  "          [--max-jobs=N] [--adaptive] [--adaptive-max-extra=N]\n"
                  "          [--adaptive-round=N] [--adaptive-variance=X]\n"
@@ -236,6 +254,10 @@ int main(int argc, char** argv) {
                  "  --metrics-out    telemetry counters/gauges/histograms as JSON\n"
                  "                   (docs/FORMATS.md#metrics-json)\n"
                  "  --trace-out      Chrome trace_event JSON for chrome://tracing / Perfetto\n"
+                 "  --record-anomalies  dump .lumirec flight recordings of the first K\n"
+                 "                   anomalous jobs (default K=8) into DIR; inspect with\n"
+                 "                   run_doctor.  Result-inert: reports/checkpoints are\n"
+                 "                   byte-identical with or without it\n"
                  "  --progress       live stderr meter even when stderr is not a TTY\n"
                  "  --validate-only  expand the matrix and run the rule-table analyzer on\n"
                  "                   every section, then exit without running any job\n"
@@ -271,12 +293,37 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Fail fast on unwritable telemetry destinations: a long campaign must
+  // not discover at the finish line that its outputs cannot be written.
+  // The probe opens in append mode, so an existing file is left untouched.
+  const auto probe_writable = [](const std::string& path, const char* flag) {
+    std::ofstream probe(path, std::ios::binary | std::ios::app);
+    if (!probe) {
+      std::fprintf(stderr, "cannot open %s path '%s' for writing\n", flag, path.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!args.metrics_path.empty() && !probe_writable(args.metrics_path, "--metrics-out")) {
+    return 2;
+  }
+  if (!args.trace_path.empty() && !probe_writable(args.trace_path, "--trace-out")) return 2;
+  if (!args.record_anomalies.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(args.record_anomalies.dir, ec);
+    if (ec || !std::filesystem::is_directory(args.record_anomalies.dir)) {
+      std::fprintf(stderr, "cannot create --record-anomalies directory '%s'%s%s\n",
+                   args.record_anomalies.dir.c_str(), ec ? ": " : "",
+                   ec ? ec.message().c_str() : "");
+      return 2;
+    }
+  }
+
   // Telemetry master switch: flipped before any instrumented code runs, and
-  // only when something will consume it — the meter, --metrics-out or
-  // --trace-out.  Reports are byte-identical either way (pinned by
-  // tests/test_obs_identity.cpp).
-  const bool meter_wanted =
-      !args.quiet && (args.progress || obs::ProgressMeter::stderr_is_tty());
+  // only when something will consume it — the meter (whose final summary now
+  // prints for any non-quiet run, TTY or not), --metrics-out or --trace-out.
+  // Reports are byte-identical either way (tests/test_obs_identity.cpp).
+  const bool meter_wanted = !args.quiet;
   if (meter_wanted || !args.metrics_path.empty() || !args.trace_path.empty()) {
     obs::Registry::global().set_enabled(true);
   }
@@ -304,6 +351,7 @@ int main(int argc, char** argv) {
     opts.max_jobs = args.max_jobs;
     opts.batch = args.batch;
     opts.adaptive = args.adaptive;
+    opts.record_anomalies = args.record_anomalies;
     campaign::OrchestratorReport report;
     try {
       report = campaign::run_orchestrated(expansion, opts);
@@ -319,7 +367,9 @@ int main(int argc, char** argv) {
     summary = std::move(report.summary);
     complete = report.complete;
   } else {
-    summary = campaign::run_campaign(expansion, args.threads, args.batch);
+    summary = campaign::run_campaign(
+        expansion, args.threads, args.batch,
+        args.record_anomalies.dir.empty() ? nullptr : &args.record_anomalies);
   }
   meter.reset();  // joins the sampler and clears the status line
 

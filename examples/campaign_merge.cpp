@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,6 +49,19 @@ int main(int argc, char** argv) {
       inputs.push_back(arg);
     }
   }
+  // Fail fast on unwritable telemetry destinations, before any shard is
+  // loaded.  Append-mode probe: an existing file is left untouched.
+  const auto probe_writable = [](const std::string& path, const char* flag) {
+    std::ofstream probe(path, std::ios::binary | std::ios::app);
+    if (!probe) {
+      std::fprintf(stderr, "campaign_merge: cannot open %s path '%s' for writing\n", flag,
+                   path.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!metrics_path.empty() && !probe_writable(metrics_path, "--metrics-out")) return 2;
+  if (!trace_path.empty() && !probe_writable(trace_path, "--trace-out")) return 2;
   // Telemetry is opt-in and result-inert: merged checkpoints and reports are
   // byte-identical with it on or off (tests/test_obs_identity.cpp).
   if (!metrics_path.empty() || !trace_path.empty()) {

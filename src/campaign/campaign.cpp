@@ -13,7 +13,9 @@
 #include "src/algorithms/registry.hpp"
 #include "src/analysis/rule_analysis.hpp"
 #include "src/campaign/thread_pool.hpp"
+#include "src/dsl/dsl.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/obs/trace_event.hpp"
 #include "src/sched/async_schedulers.hpp"
 #include "src/sched/sync_schedulers.hpp"
@@ -190,14 +192,13 @@ Expansion expand(const Matrix& matrix) {
   return out;
 }
 
-namespace {
-
 /// The per-item tail of a job once the expensive setup — registry make(),
 /// topology parse, compile-cache lookup — has been done (per job in
 /// run_cell, once per batch in run_cell_batch).  Scheduler construction is
-/// trivial and stays per item so every seed gets a fresh one.
-RunResult run_prepared(const Algorithm& alg, const Topology& topo, SchedKind kind, unsigned seed,
-                       const RunOptions& opts) {
+/// trivial and stays per item so every seed gets a fresh one.  Public: the
+/// doctor replays recordings through this same funnel.
+RunResult run_with_sched(const Algorithm& alg, const Topology& topo, SchedKind kind,
+                         unsigned seed, const RunOptions& opts) {
   switch (kind) {
     case SchedKind::Fsync: {
       FsyncScheduler s(seed);
@@ -224,8 +225,10 @@ RunResult run_prepared(const Algorithm& alg, const Topology& topo, SchedKind kin
       return run_async(alg, topo, s, opts);
     }
   }
-  throw std::invalid_argument("run_prepared: bad SchedKind");
+  throw std::invalid_argument("run_with_sched: bad SchedKind");
 }
+
+namespace {
 
 RunResult failure_result(const std::exception& e) {
   RunResult r;
@@ -233,7 +236,57 @@ RunResult failure_result(const std::exception& e) {
   return r;
 }
 
+/// Filesystem-safe token for recording filenames ("obstacles:15:7" ->
+/// "obstacles-15-7").
+std::string sanitize_for_filename(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '-';
+  }
+  return out;
+}
+
 }  // namespace
+
+bool capture_anomaly(const Cell& cell, unsigned seed, const RunOptions& base,
+                     const AnomalyCapture& capture) {
+  try {
+    const Algorithm alg = algorithms::entry(cell.section).make();
+    const Topology topo = make_topology(cell.topo, cell.rows, cell.cols);
+    // A hash revisit only proves non-termination when the scheduler is a
+    // pure function of the configuration: FSYNC's first-behavior adversary
+    // is; round-robin and the async engines carry private state, so their
+    // runs record without the cycle detector.
+    obs::Recorder rec({.capacity = 4096, .detect_cycles = cell.sched == SchedKind::Fsync});
+    rec.set_provenance({.section = cell.section,
+                        .algorithm_text = dsl::serialize(alg),
+                        .topo_spec = topo.spec(),
+                        .rows = cell.rows,
+                        .cols = cell.cols,
+                        .scheduler = to_string(cell.sched),
+                        .seed = seed,
+                        .max_steps = base.max_steps,
+                        .require_unique_actions = base.require_unique_actions});
+    // Fresh options: the warm/arena/precompiled plumbing is pure perf and
+    // tied to the worker that owned the original run; the result-bearing
+    // knobs (budget, verifier) carry over so the re-run reproduces the
+    // anomaly exactly.
+    RunOptions opts;
+    opts.max_steps = base.max_steps;
+    opts.require_unique_actions = base.require_unique_actions;
+    opts.recorder = &rec;
+    const RunResult result = run_with_sched(alg, topo, cell.sched, seed, opts);
+    const std::string name = "anomaly-" + sanitize_for_filename(cell.section) + "-" +
+                             std::to_string(cell.rows) + "x" + std::to_string(cell.cols) + "-" +
+                             sanitize_for_filename(cell.topo) + "-" + to_string(cell.sched) +
+                             "-s" + std::to_string(seed) + ".lumirec";
+    return obs::recording_write(capture.dir + "/" + name, obs::make_recording(rec, result));
+  } catch (const std::exception&) {
+    return false;  // capture must never kill the campaign it observes
+  }
+}
 
 RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options,
                    WarmStartSlot* warm) {
@@ -241,7 +294,7 @@ RunResult run_cell(const Cell& cell, unsigned seed, const RunOptions& options,
   const Topology topo = make_topology(cell.topo, cell.rows, cell.cols);
   RunOptions opts = options;
   opts.warm_start = warm;
-  return run_prepared(alg, topo, cell.sched, seed, opts);
+  return run_with_sched(alg, topo, cell.sched, seed, opts);
 }
 
 RunResult run_cell_guarded(const Cell& cell, unsigned seed, const RunOptions& options,
@@ -322,7 +375,7 @@ void run_cell_batch(const Cell& cell, std::span<const unsigned> seeds,
       opts.warm_adopt = adopted.get();
     }
     try {
-      const RunResult& r = run_prepared(*alg, *topo, cell.sched, seeds[i], opts);
+      const RunResult& r = run_with_sched(*alg, *topo, cell.sched, seeds[i], opts);
       obs_match_reused.add(r.stats.match_reused);
       obs_match_recomputed.add(r.stats.match_recomputed);
       obs_match_warm.add(r.stats.match_warm_reused);
@@ -336,7 +389,8 @@ void run_cell_batch(const Cell& cell, std::span<const unsigned> seeds,
   if (arena != nullptr) obs_arena_hw.record_max(static_cast<long long>(arena->high_water()));
 }
 
-CampaignSummary run_campaign(const Expansion& expansion, unsigned threads, std::size_t batch) {
+CampaignSummary run_campaign(const Expansion& expansion, unsigned threads, std::size_t batch,
+                             const AnomalyCapture* capture) {
   // wall_seconds is an execution-environment diagnostic: it never reaches
   // checkpoints or the merged JSON report.  lumi-lint: allow(wall-clock)
   const auto start = std::chrono::steady_clock::now();
@@ -365,6 +419,12 @@ CampaignSummary run_campaign(const Expansion& expansion, unsigned threads, std::
   for (const Job& job : expansion.jobs)
     // lumi-lint: allow(relaxed-atomic) — telemetry countdown, pre-pool setup
     remaining[job.cell].fetch_add(1, std::memory_order_relaxed);
+  // Anomaly-capture claim counter: workers race fetch_add for the K capture
+  // slots.  Telemetry-side only — which jobs win affects which .lumirec
+  // files appear, never the summary (each file's content is deterministic).
+  // lumi-lint: allow(relaxed-atomic)
+  std::atomic<std::size_t> capture_claims{0};
+  const bool capturing = capture != nullptr && !capture->dir.empty();
   // Consecutive same-cell jobs are grouped into one pool task of at most
   // `batch` items (0 = per-cell automatic) so tiny runs amortize their
   // setup; the accumulator adds are exact commutative integer updates, so
@@ -378,13 +438,24 @@ CampaignSummary run_campaign(const Expansion& expansion, unsigned threads, std::
       seeds.push_back(expansion.jobs[i].seed);
       ++i;
     }
-    pool.submit([&expansion, &per_worker, &pool, &warm, &arenas, &remaining, cell,
-                 seeds = std::move(seeds)] {
+    pool.submit([&expansion, &per_worker, &pool, &warm, &arenas, &remaining, &capture_claims,
+                 capture, capturing, cell, seeds = std::move(seeds)] {
       const std::size_t w = static_cast<std::size_t>(pool.worker_index());
       run_cell_batch(expansion.cells[cell], seeds, expansion.options, &warm[cell],
                      arenas[w].get(),
-                     [&per_worker, &remaining, w, cell](std::size_t, const RunResult& r) {
+                     [&expansion, &per_worker, &remaining, &capture_claims, &seeds, capture,
+                      capturing, w, cell](std::size_t item, const RunResult& r) {
                        per_worker[w].add(cell, r);
+                       // Anomalous job: claim a capture slot and re-run it
+                       // with a recorder.  Entirely outside the accumulator
+                       // path — the summary bytes cannot see it.
+                       if (capturing && !r.failure.empty() &&
+                           // lumi-lint: allow(relaxed-atomic)
+                           capture_claims.fetch_add(1, std::memory_order_relaxed) <
+                               capture->limit) {
+                         capture_anomaly(expansion.cells[cell], seeds[item], expansion.options,
+                                         *capture);
+                       }
                        // Cell-completion tick for the progress meter only.
                        // lumi-lint: allow(relaxed-atomic)
                        if (remaining[cell].fetch_sub(1, std::memory_order_relaxed) == 1) {

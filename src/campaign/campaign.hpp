@@ -123,6 +123,15 @@ struct Expansion {
 /// rejected before a single job runs.
 Expansion expand(const Matrix& matrix);
 
+/// Runs `alg` on `topo` under a freshly constructed scheduler of kind `kind`
+/// seeded with `seed` — the per-job tail of run_cell once the expensive
+/// setup is done, exposed for the replay/doctor tooling
+/// (src/campaign/doctor.hpp): a recording names (algorithm, topology,
+/// scheduler kind, seed), and re-running through this exact funnel is what
+/// makes replays byte-identical.
+RunResult run_with_sched(const Algorithm& alg, const Topology& topo, SchedKind kind,
+                         unsigned seed, const RunOptions& opts);
+
 /// Executes one job (used by the runner; exposed for tests/benches).
 /// `warm`, when given, is the cell's shared initial-verdict slot (see
 /// WarmStartSlot): runs after the first skip the tracker's initial full
@@ -164,6 +173,27 @@ struct CellSummary {
   CellAccumulator acc;
 };
 
+/// Result-inert anomaly capture (the `--record-anomalies` flag): when armed,
+/// the first `limit` anomalous jobs (nonempty failure — budget exhaustion,
+/// verifier failure, escaped exception) are *re-run* with a flight recorder
+/// attached and dumped as `.lumirec` files into `dir`.  Every scheduler is
+/// deterministic given its seed, so the re-run reproduces the anomalous
+/// execution exactly; it happens entirely outside the accumulator path, so
+/// reports and checkpoints are byte-identical with capture on or off
+/// (tests/test_obs_identity.cpp).  Which K anomalies win the claim race
+/// under threads is timing-dependent; the file a given job produces is not.
+struct AnomalyCapture {
+  std::string dir;        ///< existing directory; empty = capture off
+  std::size_t limit = 8;  ///< max recordings per campaign (per shard)
+};
+
+/// Re-runs one anomalous job with a recorder (cycle detection armed for
+/// deterministic memoryless schedulers) and writes
+/// `dir/anomaly-<cell>-s<seed>.lumirec`.  Never throws — a capture failure
+/// must not kill the campaign; returns whether a file was written.
+bool capture_anomaly(const Cell& cell, unsigned seed, const RunOptions& base,
+                     const AnomalyCapture& capture);
+
 struct CampaignSummary {
   std::vector<CellSummary> cells;
   CellAccumulator total;
@@ -177,9 +207,11 @@ struct CampaignSummary {
 /// `batch` is the number of consecutive same-cell jobs one worker task
 /// executes (0 = automatic per cell via auto_batch_size, 1 = the per-job
 /// reference path).  Summaries are byte-identical for any batch size and
-/// any worker count (tests/test_batching.cpp pins this).
+/// any worker count (tests/test_batching.cpp pins this).  `capture`, when
+/// non-null with a nonempty dir, records the first anomalous jobs (see
+/// AnomalyCapture) without affecting the summary.
 CampaignSummary run_campaign(const Expansion& expansion, unsigned threads = 0,
-                             std::size_t batch = 0);
+                             std::size_t batch = 0, const AnomalyCapture* capture = nullptr);
 CampaignSummary run_campaign(const Matrix& matrix, unsigned threads = 0, std::size_t batch = 0);
 
 /// Sections of the eleven directly implemented paper algorithms (Algorithms

@@ -1,6 +1,7 @@
 #include "src/campaign/orchestrate.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -203,6 +204,9 @@ OrchestratorReport run_orchestrated(const Expansion& expansion,
     std::vector<std::unique_ptr<Arena>> arenas;
     arenas.reserve(pool.size());
     for (unsigned w = 0; w < pool.size(); ++w) arenas.push_back(std::make_unique<Arena>());
+    // Anomaly-capture claim counter (see run_campaign): telemetry-side only.
+    // lumi-lint: allow(relaxed-atomic)
+    std::atomic<std::size_t> capture_claims{0};
 
     // Submits every job not already covered by the checkpoint, honoring the
     // per-invocation cap.  Consecutive same-cell jobs are grouped into one
@@ -246,20 +250,34 @@ OrchestratorReport run_orchestrated(const Expansion& expansion,
         }
         if (seeds.empty()) continue;
         pool.submit([&expansion, &ck, &state_mu, &version, &warm, &arenas, &pool, &base,
-                     &obs_cells_done, cell_index, seeds = std::move(seeds)] {
+                     &obs_cells_done, &options, &capture_claims, cell_index,
+                     seeds = std::move(seeds)] {
           const std::size_t w = static_cast<std::size_t>(pool.worker_index());
           run_cell_batch(expansion.cells[cell_index], seeds, expansion.options,
                          &warm[cell_index], arenas[w].get(),
                          [&](std::size_t item, const RunResult& result) {
-                           std::lock_guard lock(state_mu);
-                           CheckpointCell& cell = ck.cells[cell_index];
-                           cell.acc.add(result);
-                           record_seed(cell, seeds[item]);
-                           ++version;
-                           // Completion tick for the progress meter: fires
-                           // exactly once, when the base pass crosses done.
-                           if (cell.seeds_done.size() == base[cell_index]) {
-                             obs_cells_done.add(1);
+                           {
+                             std::lock_guard lock(state_mu);
+                             CheckpointCell& cell = ck.cells[cell_index];
+                             cell.acc.add(result);
+                             record_seed(cell, seeds[item]);
+                             ++version;
+                             // Completion tick for the progress meter: fires
+                             // exactly once, when the base pass crosses done.
+                             if (cell.seeds_done.size() == base[cell_index]) {
+                               obs_cells_done.add(1);
+                             }
+                           }
+                           // Anomaly capture runs outside the state lock —
+                           // it re-executes the job, which must not stall
+                           // the checkpoint funnel.  Result-inert.
+                           if (!options.record_anomalies.dir.empty() &&
+                               !result.failure.empty() &&
+                               // lumi-lint: allow(relaxed-atomic)
+                               capture_claims.fetch_add(1, std::memory_order_relaxed) <
+                                   options.record_anomalies.limit) {
+                             capture_anomaly(expansion.cells[cell_index], seeds[item],
+                                             expansion.options, options.record_anomalies);
                            }
                          });
         });

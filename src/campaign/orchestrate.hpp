@@ -43,6 +43,10 @@ struct OrchestratorOptions {
   /// unchanged at any batch size, and reports are byte-identical.
   std::size_t batch = 0;
   AdaptivePolicy adaptive;
+  /// Anomaly capture (campaign.hpp): empty dir = off.  The limit applies per
+  /// invocation, i.e. per shard when a campaign is sharded.  Result-inert —
+  /// checkpoints and reports are byte-identical with capture on or off.
+  AnomalyCapture record_anomalies;
 };
 
 struct OrchestratorReport {

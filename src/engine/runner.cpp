@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/core/incremental.hpp"
+#include "src/obs/recorder.hpp"
 
 namespace lumi {
 
@@ -73,6 +74,7 @@ RunResult run_sync(const Algorithm& alg, const Topology& topo, SyncScheduler& sc
   result.visited.assign(static_cast<std::size_t>(topo.num_nodes()), false);
   mark_visited(result.visited, topo, config);
   if (opts.record_trace) result.trace.push(config, "initial");
+  if (opts.recorder != nullptr) opts.recorder->begin_run(config);
 
   std::vector<RobotAction> selected;  // reused across instants via select_into
   for (long step = 0; step < opts.max_steps; ++step) {
@@ -113,6 +115,7 @@ RunResult run_sync(const Algorithm& alg, const Topology& topo, SyncScheduler& sc
       copy_counters(result);
       return result;
     }
+    if (opts.recorder != nullptr) opts.recorder->record_sync_instant(step, config, selected);
     std::string note;
     for (const RobotAction& ra : selected) {
       result.stats.activations += 1;
@@ -136,6 +139,7 @@ RunResult run_sync(const Algorithm& alg, const Topology& topo, SyncScheduler& sc
       }
     }
     if (opts.record_trace) result.trace.push(config, note);
+    if (opts.recorder != nullptr) opts.recorder->record_configuration(step + 1, config);
   }
   result.failure = "step budget exhausted (" + std::to_string(opts.max_steps) + " instants)";
   copy_counters(result);
@@ -153,6 +157,7 @@ RunResult run_async(const Algorithm& alg, const Topology& topo, AsyncScheduler& 
   result.visited.assign(static_cast<std::size_t>(topo.num_nodes()), false);
   mark_visited(result.visited, topo, engine.config());
   if (opts.record_trace) result.trace.push(engine.config(), "initial");
+  if (opts.recorder != nullptr) opts.recorder->begin_run(engine.config());
   const auto copy_counters = [&engine](RunResult& r) {
     r.stats.match_reused = engine.match_counters().reused;
     r.stats.match_recomputed = engine.match_counters().recomputed;
@@ -186,11 +191,20 @@ RunResult run_async(const Algorithm& alg, const Topology& topo, AsyncScheduler& 
       // Trace notes are only consumed by recorded traces; skip the string
       // work (significant at micro-run scale) when nothing records them.
       if (opts.record_trace) note = "Look: " + describe(alg, RobotAction{robot, decision});
+      if (opts.recorder != nullptr) {
+        opts.recorder->record_async_event(event, obs::EventKind::Look, robot,
+                                          engine.config().robot(robot).color, &decision);
+      }
       engine.activate(robot, decision);
     } else {
       if (opts.record_trace) {
         note = (before == Phase::Decided ? "Compute-end: robot " : "Move: robot ") +
                std::to_string(robot);
+      }
+      if (opts.recorder != nullptr) {
+        opts.recorder->record_async_event(
+            event, before == Phase::Decided ? obs::EventKind::ComputeEnd : obs::EventKind::Move,
+            robot, engine.config().robot(robot).color, nullptr);
       }
       engine.activate(robot);
     }
@@ -200,6 +214,7 @@ RunResult run_async(const Algorithm& alg, const Topology& topo, AsyncScheduler& 
     result.visited[static_cast<std::size_t>(topo.index(engine.config().robot(robot).pos))] =
         true;
     if (opts.record_trace) result.trace.push(engine.config(), note);
+    if (opts.recorder != nullptr) opts.recorder->record_configuration(event + 1, engine.config());
   }
   result.failure = "event budget exhausted (" + std::to_string(opts.max_steps) + " events)";
   copy_counters(result);

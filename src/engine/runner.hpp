@@ -18,6 +18,10 @@
 
 namespace lumi {
 
+namespace obs {
+class Recorder;  // src/obs/recorder.hpp
+}
+
 struct RunOptions {
   long max_steps = 1'000'000;        ///< instants (sync) or events (async)
   bool record_trace = false;
@@ -54,6 +58,13 @@ struct RunOptions {
   /// and topology being run, and must outlive the run.  Null = build per
   /// run.  Pure perf.
   const Configuration* initial = nullptr;
+  /// Optional flight recorder (src/obs/recorder.hpp): when non-null, the
+  /// engines feed it per-instant structured events and the configuration
+  /// entering each instant.  Strictly an observer — attaching one never
+  /// changes control flow, results or stats (pinned by
+  /// tests/test_obs_identity.cpp); null (the default) costs one pointer test
+  /// per instant, gated at 3% by bench_campaign.
+  obs::Recorder* recorder = nullptr;
   /// Optional run-scratch memory resource (batched campaigns pass the
   /// worker's Arena): backs the configuration's robot/occupancy/journal
   /// tables and the tracker's internal maps for the duration of the run.

@@ -22,26 +22,45 @@ bool ProgressMeter::stderr_is_tty() {
 
 ProgressMeter::ProgressMeter(const Options& options) : options_(options) {
   out_ = options_.out != nullptr ? options_.out : stderr;
-  if (!options_.force && !stderr_is_tty()) return;
+  // Baseline and clock are taken even when the live line stays off: the
+  // final summary printed by the destructor needs them either way.
   const MetricsSnapshot s = Registry::global().snapshot();
   jobs_at_start_ = s.counter_or("campaign.jobs_done");
   start_ = std::chrono::steady_clock::now();
+  if (!options_.force && !stderr_is_tty()) return;
   thread_ = std::thread([this] { loop(); });
 }
 
 ProgressMeter::~ProgressMeter() {
-  if (!thread_.joinable()) return;
-  {
-    std::lock_guard lock(mu_);
-    stop_ = true;
+  if (thread_.joinable()) {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    render_line();  // final state, then clear
+    if (last_line_len_ > 0) {
+      std::fprintf(out_, "\r%*s\r", static_cast<int>(last_line_len_), "");
+      std::fflush(out_);
+    }
   }
-  cv_.notify_all();
-  thread_.join();
-  render_line();  // final state, then clear
-  if (last_line_len_ > 0) {
-    std::fprintf(out_, "\r%*s\r", static_cast<int>(last_line_len_), "");
-    std::fflush(out_);
-  }
+  // One newline-terminated summary regardless of TTY, so CI logs capture
+  // the totals that the self-erasing live line never leaves behind.
+  print_summary();
+}
+
+void ProgressMeter::print_summary() {
+  const MetricsSnapshot s = Registry::global().snapshot();
+  const long long done_new = s.counter_or("campaign.jobs_done") - jobs_at_start_;
+  const long long done = done_new + s.counter_or("orchestrate.resume_skips");
+  const long long cells = s.counter_or("campaign.cells_done");
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  const double rate = elapsed > 0 ? static_cast<double>(done_new) / elapsed : 0.0;
+  std::fprintf(out_, "campaign: cells %lld/%zu, jobs %lld/%zu in %.2fs (%.1f jobs/s)\n",
+               cells, options_.total_cells, done, options_.total_jobs, elapsed, rate);
+  std::fflush(out_);
 }
 
 void ProgressMeter::loop() {

@@ -34,7 +34,11 @@ class ProgressMeter {
   /// the metrics registry to be enabled to see nonzero counters (the CLIs
   /// enable it whenever the meter runs).
   explicit ProgressMeter(const Options& options);
-  /// Stops the thread, clears the status line.
+  /// Stops the thread, clears the status line, then prints one final
+  /// newline-terminated summary (cells, jobs, wall, rate) — even when the
+  /// live line never ran because stderr is not a TTY, so CI logs still
+  /// capture the totals.  The CLIs skip constructing the meter under
+  /// --quiet, which therefore also suppresses the summary.
   ~ProgressMeter();
 
   ProgressMeter(const ProgressMeter&) = delete;
@@ -47,6 +51,7 @@ class ProgressMeter {
  private:
   void loop();
   void render_line();
+  void print_summary();
 
   Options options_;
   std::FILE* out_ = nullptr;

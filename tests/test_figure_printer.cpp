@@ -1,0 +1,76 @@
+// Golden-fixture pin of the paper-figure printer: every available figure's
+// ASCII rendering must match tests/fixtures/figures/figNN.txt byte for byte.
+// The figures are documentation artifacts (README points readers at them),
+// so silent drift — a changed excerpt window, a renumbered step, a different
+// caption — is a regression even when the underlying run is still correct.
+// To regenerate after an intentional change: write each print_figure output
+// to tests/fixtures/figures/fig%02d.txt and review the diff.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/trace/figure_printer.hpp"
+
+#ifndef LUMI_SOURCE_DIR
+#define LUMI_SOURCE_DIR "."
+#endif
+
+namespace lumi {
+namespace {
+
+std::string golden_path(int figure) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "/fig%02d.txt", figure);
+  return std::string(LUMI_SOURCE_DIR) + "/tests/fixtures/figures" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FigurePrinter, AvailableFiguresAreThePaperRange) {
+  const std::vector<int> figs = available_figures();
+  ASSERT_FALSE(figs.empty());
+  EXPECT_TRUE(std::is_sorted(figs.begin(), figs.end()));
+  EXPECT_EQ(std::adjacent_find(figs.begin(), figs.end()), figs.end());  // unique
+  EXPECT_EQ(figs.front(), 1);
+  EXPECT_EQ(figs.back(), 25);
+}
+
+TEST(FigurePrinter, EveryFigureMatchesItsGolden) {
+  for (int fig : available_figures()) {
+    SCOPED_TRACE("figure " + std::to_string(fig));
+    const std::string want = slurp(golden_path(fig));
+    ASSERT_FALSE(want.empty()) << "missing golden " << golden_path(fig);
+    std::ostringstream out;
+    ASSERT_TRUE(print_figure(out, fig));
+    EXPECT_EQ(out.str(), want);
+  }
+}
+
+TEST(FigurePrinter, UnknownIdReturnsFalseAndWritesNothing) {
+  for (int fig : {0, -1, 26, 99}) {
+    std::ostringstream out;
+    EXPECT_FALSE(print_figure(out, fig)) << "figure " << fig;
+    EXPECT_TRUE(out.str().empty()) << "figure " << fig;
+  }
+}
+
+TEST(FigurePrinter, RenderingIsDeterministic) {
+  for (int fig : {4, 17, 25}) {
+    std::ostringstream a, b;
+    ASSERT_TRUE(print_figure(a, fig));
+    ASSERT_TRUE(print_figure(b, fig));
+    EXPECT_EQ(a.str(), b.str()) << "figure " << fig;
+  }
+}
+
+}  // namespace
+}  // namespace lumi

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -118,6 +119,70 @@ TEST(ObsIdentity, CheckpointBytesMatchAcrossTelemetryAndThreads) {
     EXPECT_EQ(campaign_json(got.summary), want_json) << "threads=" << threads;
     EXPECT_GT(obs::Registry::global().snapshot().counter_or("orchestrate.checkpoint_flushes"),
               0);
+  }
+}
+
+TEST(ObsIdentity, AnomalyCaptureLeavesReportBytesUntouched) {
+  // Starve the budget so (nearly) every job is anomalous: capture fires for
+  // real, yet CSV/JSON must stay byte-identical to the capture-off run at
+  // every thread count — the flight recorder is result-inert by design.
+  Matrix m = small_matrix();
+  m.options.max_steps = 5;
+  const Expansion expansion = expand(m);
+  ASSERT_FALSE(obs::Registry::global().enabled());
+  const CampaignSummary off = run_campaign(expansion, 1, 0);
+  ASSERT_GT(off.total.failures, 0);  // the differential is not vacuous
+  const std::string want_csv = campaign_csv(off);
+  const std::string want_json = campaign_json(off);
+
+  for (unsigned threads : {1u, 2u, 4u}) {
+    const std::string dir = testing::TempDir() + "obs_identity_capture_" +
+                            std::to_string(threads);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const AnomalyCapture capture{dir, 4};
+    FullTelemetry telemetry(expansion.jobs.size(), expansion.cells.size());
+    const CampaignSummary summary = run_campaign(expansion, threads, 0, &capture);
+    EXPECT_EQ(campaign_csv(summary), want_csv) << "threads=" << threads;
+    EXPECT_EQ(campaign_json(summary), want_json) << "threads=" << threads;
+    // Capture actually happened, and honored the limit.
+    std::size_t files = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      EXPECT_EQ(entry.path().extension(), ".lumirec");
+      ++files;
+    }
+    EXPECT_GT(files, 0u) << "threads=" << threads;
+    EXPECT_LE(files, 4u) << "threads=" << threads;
+  }
+}
+
+TEST(ObsIdentity, AnomalyCaptureLeavesCheckpointBytesUntouched) {
+  Matrix m = small_matrix();
+  m.options.max_steps = 5;
+  const Expansion expansion = expand(m);
+
+  OrchestratorOptions base;
+  base.flush_seconds = 60.0;
+  const std::string off_path = temp_path("obs_identity_capture_off.ckpt");
+  std::remove(off_path.c_str());
+  base.checkpoint_path = off_path;
+  base.threads = 1;
+  const std::string want_bytes = slurp((run_orchestrated(expansion, base), off_path));
+  ASSERT_FALSE(want_bytes.empty());
+
+  for (unsigned threads : {1u, 3u}) {
+    const std::string on_path = temp_path("obs_identity_capture_on.ckpt");
+    std::remove(on_path.c_str());
+    const std::string dir = testing::TempDir() + "obs_identity_orch_capture";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    OrchestratorOptions opts = base;
+    opts.checkpoint_path = on_path;
+    opts.threads = threads;
+    opts.record_anomalies = {dir, 2};
+    run_orchestrated(expansion, opts);
+    EXPECT_EQ(slurp(on_path), want_bytes) << "threads=" << threads;
+    EXPECT_FALSE(std::filesystem::is_empty(dir)) << "threads=" << threads;
   }
 }
 

@@ -1,0 +1,11 @@
+// Fixture: report rendering dumping a flight recording by bare name (no
+// obs:: prefix, as `using namespace lumi::obs` would allow) — the recorder
+// entry points must be fenced out of serializers just like obs:: symbols.
+#include <string>
+
+using namespace lumi::obs;
+
+std::string render_and_dump(const Recording& rec) {
+  recording_write("report.lumirec", rec);
+  return recording_serialize(rec);
+}

@@ -156,10 +156,15 @@ RULES = [
     Rule(
         name="obs-isolation",
         summary="telemetry (obs::) in report rendering or checkpoint serialization",
-        # Matches obs:: symbol uses and src/obs/ includes (include paths are
+        # Matches obs:: symbol uses, src/obs/ includes (include paths are
         # re-injected into the code channel by lint_file — as string-literal
-        # contents they are otherwise blanked by the tokenizer).
-        pattern=re.compile(r"\bobs::|\bsrc/obs/"),
+        # contents they are otherwise blanked by the tokenizer), and the
+        # flight-recorder entry points by bare name: `using namespace` or ADL
+        # would otherwise let a serializer call them without the obs:: prefix.
+        pattern=re.compile(
+            r"\bobs::|\bsrc/obs/"
+            r"|\b(?:recording_write|recording_serialize|make_recording)\s*\("
+        ),
         include=REPORT_PATHS,
         message=(
             "telemetry must observe results, never feed them: report "
